@@ -1,0 +1,19 @@
+"""E-F2 — Figure 2: raster plot of the 80-20 network on the fixed-point datapath."""
+
+from repro.harness import fig2_raster, format_kv
+
+
+def test_fig2_raster_plot(benchmark):
+    result = benchmark.pedantic(lambda: fig2_raster(num_steps=1000, backend="fixed"), rounds=1, iterations=1)
+    raster = result["raster"]
+    summary = result["summary"]
+
+    print()
+    print("Figure 2 — 80-20 raster (1000 neurons x 1000 ms, fixed point), coarse ASCII rendering:")
+    print(result["ascii"])
+    print(format_kv({k: v for k, v in summary.items() if isinstance(v, float)}, title="Population rhythm summary"))
+
+    # The network is active but sparse, and both rhythm bands carry power.
+    assert raster.num_spikes > 1000
+    assert 1.0 < raster.mean_rate_hz() < 50.0
+    assert summary["alpha_power"] > 0 and summary["gamma_power"] > 0

@@ -1,0 +1,32 @@
+"""E-F4 — Figure 4: inhibitory structure of the Sudoku WTA network."""
+
+from repro.harness import fig4_wta, format_kv
+from repro.sudoku import build_wta_synapses
+
+
+def test_fig4_wta_connectivity(benchmark):
+    benchmark(build_wta_synapses)
+    data = fig4_wta()
+    stats = data["stats"]
+
+    print()
+    print(
+        format_kv(
+            {
+                "neurons": stats.num_neurons,
+                "inhibitory edges": stats.num_inhibitory_edges,
+                "self-excitation edges": stats.num_self_edges,
+                "inhibitory out-degree": stats.inhibitory_out_degree,
+                "row targets": stats.row_targets,
+                "column targets": stats.column_targets,
+                "box-only targets": stats.box_only_targets,
+                "same-cell targets": stats.cell_targets,
+            },
+            title="Figure 4 — WTA inhibition structure (one neuron's fan-out)",
+        )
+    )
+
+    assert stats.num_neurons == 729
+    assert stats.inhibitory_out_degree == 28
+    assert (stats.row_targets, stats.column_targets, stats.box_only_targets, stats.cell_targets) == (8, 8, 4, 8)
+    assert stats.num_inhibitory_edges == 729 * 28

@@ -1,0 +1,21 @@
+"""E-F5 — Figure 5: per-block floorplan breakdown on FreePDK45 and ASAP7."""
+
+from repro.harness import fig5_floorplan
+
+
+def test_fig5_floorplan(benchmark):
+    result = benchmark(fig5_floorplan)
+
+    print()
+    for tech in ("FreePDK45", "ASAP7"):
+        print(result[tech]["ascii"])
+        print()
+
+    # The paper's headline claims: NPU no more than ~20 % of the core,
+    # DCU below 2 %.
+    assert result["npu_fraction"] <= 0.25
+    assert result["dcu_fraction"] < 0.03
+    for tech in ("FreePDK45", "ASAP7"):
+        summary = result[tech]["summary"]
+        assert 0.1 < summary["npu_fraction"] < 0.3
+        assert summary["total_area_um2"] > 0

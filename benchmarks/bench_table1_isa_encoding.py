@@ -1,0 +1,31 @@
+"""E-T1 — Table I: the custom neuromorphic instruction encodings.
+
+Regenerates the encoding table (opcode, funct3, format) and measures the
+encode+decode cost of the four custom instructions.
+"""
+
+from repro.harness import format_table, table1_isa_roundtrip
+from repro.isa import decode, encode
+
+
+def test_table1_isa_encoding(benchmark):
+    rows = table1_isa_roundtrip()
+
+    def encode_decode_all():
+        for name in rows:
+            decode(encode(name, rd=10, rs1=11, rs2=12))
+
+    benchmark(encode_decode_all)
+
+    print()
+    print(
+        format_table(
+            ["Instruction", "Opcode", "funct3", "Format", "Word", "Round-trip"],
+            [
+                [name, r["opcode"], r["funct3"], r["format"], r["word"], "ok" if r["roundtrip_ok"] else "FAIL"]
+                for name, r in rows.items()
+            ],
+            title="Table I — custom ISA extension on opcode custom-0 (0001011)",
+        )
+    )
+    assert all(r["roundtrip_ok"] and r["custom0"] for r in rows.values())

@@ -1,0 +1,28 @@
+"""E-T3 — Table III: dual-core IzhiRISC-V resource utilisation on MAX10."""
+
+import pytest
+
+from repro.harness import format_comparison, table3_max10
+from repro.hw import FPGAResourceModel, MAX10_CORE, MAX10_DEVICE
+
+
+def test_table3_max10_resources(benchmark):
+    result = benchmark(table3_max10)
+    report = result["model"]
+    paper = result["paper"]
+
+    rows = {
+        "Frequency [MHz]": {"measured": report.clock_mhz, "paper": paper["frequency_mhz"]},
+        "Logic elements": {"measured": report.logic, "paper": paper["logic_elements"]},
+        "Logic [%]": {"measured": report.logic_percent, "paper": paper["logic_percent"]},
+        "FF": {"measured": report.flipflops, "paper": paper["flipflops"]},
+        "BRAM [Kb]": {"measured": report.memory, "paper": paper["bram_kb"]},
+        "Embedded mult (9b)": {"measured": report.dsp, "paper": paper["multipliers"]},
+    }
+    print()
+    print(format_comparison(rows, columns=["measured", "paper"], title="Table III — dual-core on Intel MAX10"))
+
+    assert report.logic == pytest.approx(paper["logic_elements"], rel=0.02)
+    assert report.fits
+    # The paper notes a third core only fits with reduced caches/clock.
+    assert FPGAResourceModel(MAX10_DEVICE, MAX10_CORE).max_cores() == 2

@@ -1,0 +1,37 @@
+"""E-T4 — Table IV: 16/32/64-core systems on Agilex-7 plus the 192-core estimate."""
+
+import pytest
+
+from repro.harness import format_table, table4_agilex
+
+
+def test_table4_agilex_scaling(benchmark):
+    result = benchmark(table4_agilex)
+    reports = result["reports"]
+    paper = result["paper"]
+
+    rows = []
+    for n, report in reports.items():
+        rows.append(
+            [
+                n,
+                f"{report.logic:.0f} / {paper[n]['alm']}",
+                f"{report.flipflops:.0f} / {paper[n]['ff']}",
+                f"{report.memory:.0f} / {paper[n]['ram_blocks']}",
+                f"{report.dsp:.0f} / {paper[n]['dsp']}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Cores", "ALM (model/paper)", "FF (model/paper)", "RAM blocks (model/paper)", "DSP (model/paper)"],
+            rows,
+            title="Table IV — IzhiRISC-V scaling on Intel Agilex-7 @ 100 MHz",
+        )
+    )
+    print(f"Maximum cores (linear scaling): model {result['max_cores']} vs paper estimate {result['paper_max_cores']}")
+
+    for n, report in reports.items():
+        assert report.logic == pytest.approx(paper[n]["alm"], rel=0.05)
+        assert report.fits
+    assert result["max_cores"] == pytest.approx(result["paper_max_cores"], rel=0.15)

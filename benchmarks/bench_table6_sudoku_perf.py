@@ -1,0 +1,51 @@
+"""E-T6 / E-S2 — Table VI: Sudoku WTA solver metrics plus the soft-float speedup."""
+
+import pytest
+
+from repro.harness import format_comparison, format_kv, paper_data, softfloat_speedup, table6_sudoku
+
+
+def test_table6_sudoku_metrics(benchmark):
+    result = benchmark.pedantic(lambda: table6_sudoku(num_steps=1), rounds=1, iterations=1)
+
+    rows = result.comparison_rows()
+    paper = paper_data.PAPER_TABLE6_SUDOKU
+    rows["IPC"]["paper single"] = paper["single"]["ipc"]
+    rows["IPC_eff"]["paper single"] = paper["single"]["ipc_eff"]
+    rows["Hazard stalls [%]"]["paper single"] = paper["single"]["hazard_stall_percent"]
+    rows["I-cache hit rate [%]"]["paper single"] = paper["single"]["icache_hit_rate"]
+    rows["D-cache hit rate [%]"]["paper single"] = paper["single"]["dcache_hit_rate"]
+    rows["Mem intensity"]["paper single"] = paper["single"]["memory_intensity"]
+    rows["Speedup"]["paper single"] = paper_data.PAPER_SPEEDUP_DUAL_CORE_SUDOKU
+
+    print()
+    print(
+        format_comparison(
+            rows,
+            columns=["Single-core", "Dual core #1", "Dual core #2", "paper single"],
+            title="Table VI — Sudoku WTA window (729 neurons, per-timestep metrics)",
+        )
+    )
+
+    time_per_step_ms = result.single["execution_time_s"] * 1e3 / result.num_steps
+    print(f"Per-timestep execution time (single core, 30 MHz): {time_per_step_ms:.3f} ms "
+          f"(paper: {paper['single']['time_per_step_ms']} ms)")
+
+    assert 0.3 < result.single["ipc"] < 1.0
+    assert result.single["icache_hit_rate"] > 95.0
+    # The paper's 729-neuron state fits the FPGA's on-chip memory (≈100 %
+    # D-cache hit rate); our default 4 KiB D-cache is smaller than the
+    # working set, so the hit rate is lower — see EXPERIMENTS.md.
+    assert result.single["dcache_hit_rate"] > 70.0
+    assert 1.3 < result.speedup <= 2.1
+
+
+def test_softfloat_speedup_estimate(benchmark):
+    result = benchmark.pedantic(
+        lambda: softfloat_speedup(num_neurons=96, num_steps=3), rounds=1, iterations=1
+    )
+    print()
+    print(format_kv(result, title="§VI-C — NPU/DCU fixed point vs soft-float (per neuron update)"))
+    # The paper reports roughly 40x; the cost model should land in the same
+    # order of magnitude (tens of times faster).
+    assert 15.0 < result["speedup"] < 120.0

@@ -1,0 +1,52 @@
+"""E-T7 — Table VII: FreePDK45 / ASAP7 standard-cell mapping results."""
+
+import pytest
+
+from repro.harness import format_comparison, table7_asic
+
+
+def test_table7_standard_cell_mapping(benchmark):
+    result = benchmark(table7_asic)
+    reports = result["reports"]
+    paper = result["paper"]
+
+    rows = {}
+    for metric, getter in [
+        ("Total area [um2]", lambda r: r.total_area_um2),
+        ("NPU area [um2]", lambda r: r.block_area("NPU")),
+        ("DCU area [um2]", lambda r: r.block_area("DCU")),
+        ("Total power [mW]", lambda r: r.total_power_mw),
+        ("Clock [MHz]", lambda r: r.clock_mhz),
+        ("Throughput [MUpd/s]", lambda r: r.throughput_mupd_s),
+        ("Power eff. [GUpd/s/W]", lambda r: r.power_efficiency_gupd_s_w),
+        ("Peak neural IPS [G/s]", lambda r: r.peak_neural_gips),
+    ]:
+        rows[metric] = {
+            "FreePDK45 (model)": getter(reports["FreePDK45"]),
+            "ASAP7 (model)": getter(reports["ASAP7"]),
+        }
+    rows["Total area [um2]"].update(
+        {"FreePDK45 (paper)": paper["FreePDK45"]["total_area_um2"], "ASAP7 (paper)": paper["ASAP7"]["total_area_um2"]}
+    )
+    rows["Total power [mW]"].update(
+        {"FreePDK45 (paper)": paper["FreePDK45"]["total_power_mw"], "ASAP7 (paper)": paper["ASAP7"]["total_power_mw"]}
+    )
+    rows["Power eff. [GUpd/s/W]"].update(
+        {
+            "FreePDK45 (paper)": paper["FreePDK45"]["power_efficiency_gupd_s_w"],
+            "ASAP7 (paper)": paper["ASAP7"]["power_efficiency_gupd_s_w"],
+        }
+    )
+    print()
+    print(
+        format_comparison(
+            rows,
+            columns=["FreePDK45 (model)", "FreePDK45 (paper)", "ASAP7 (model)", "ASAP7 (paper)"],
+            title="Table VII — standard-cell mapping",
+        )
+    )
+
+    for tech in ("FreePDK45", "ASAP7"):
+        assert reports[tech].total_area_um2 == pytest.approx(paper[tech]["total_area_um2"], rel=0.02)
+        assert reports[tech].total_power_mw == pytest.approx(paper[tech]["total_power_mw"], rel=0.1)
+        assert reports[tech].peak_neural_gips == pytest.approx(paper[tech]["peak_neural_gips"], rel=0.02)

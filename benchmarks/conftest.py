@@ -1,0 +1,13 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper
+(``pytest benchmarks/ --benchmark-only``).  Pass ``-s`` to also print the
+regenerated tables next to the paper's published values.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

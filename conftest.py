@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The project is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` on machines without network access); this hook
+only adds the source tree to ``sys.path`` as a fallback so the test and
+benchmark suites run from a plain checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

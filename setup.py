@@ -1,0 +1,11 @@
+"""Setup shim for environments without network access.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed with ``pip install -e . --no-build-isolation
+--no-use-pep517`` (legacy editable mode) on machines where the ``wheel``
+package is unavailable and PyPI cannot be reached.
+"""
+
+from setuptools import setup
+
+setup()

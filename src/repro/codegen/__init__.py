@@ -1,0 +1,39 @@
+"""Code generation for the IzhiRISC-V evaluation programs.
+
+Memory layout / data encoding, the assembly kernels (extension vs base-ISA
+baseline) and the workload builders used by the Table V / Table VI
+benchmarks and the multi-core speedup experiments.
+"""
+
+from .kernels import baseline_kernel, extension_kernel, kernel_source
+from .layout import NetworkDataLayout, ONCHIP_BASE, WorkloadSpec, encode_network_data
+from .program import (
+    Workload,
+    build_eighty_twenty_workload,
+    build_sudoku_workload,
+    build_workload,
+)
+from .softfloat import (
+    FloatOpCounts,
+    IZHIKEVICH_FLOAT_OPS,
+    SoftFloatCostModel,
+    estimate_softfloat_speedup,
+)
+
+__all__ = [
+    "FloatOpCounts",
+    "IZHIKEVICH_FLOAT_OPS",
+    "SoftFloatCostModel",
+    "estimate_softfloat_speedup",
+    "baseline_kernel",
+    "extension_kernel",
+    "kernel_source",
+    "NetworkDataLayout",
+    "ONCHIP_BASE",
+    "WorkloadSpec",
+    "encode_network_data",
+    "Workload",
+    "build_eighty_twenty_workload",
+    "build_sudoku_workload",
+    "build_workload",
+]

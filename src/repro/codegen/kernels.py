@@ -1,0 +1,312 @@
+"""Assembly kernels for the SNN evaluation programs.
+
+Two functionally-equivalent neuron-update kernels are generated:
+
+* :func:`extension_kernel` — uses the neuromorphic instructions
+  (``nmldl``/``nmldh``/``nmpn``/``nmdec``), mirroring the paper's
+  Listing 1: one single-cycle neuron update and one single-cycle current
+  decay per neuron per timestep.
+* :func:`baseline_kernel` — the same computation expressed with base
+  RV32IM instructions only (the "19 equivalent operations" of §II-C plus
+  the unavoidable packing/unpacking), bit-compatible with the NPU/DCU
+  datapath so the two programs produce identical network trajectories.
+
+Both kernels share the same program skeleton: per timestep they walk the
+neuron arrays (parameters, packed VU word, synaptic current, pre-computed
+external input), record which neurons spiked and then propagate the spikes
+through the CSR connectivity by accumulating weights into the target
+currents.  The final instruction stores the total spike count and a VU
+checksum into the result area and halts through the MMIO halt register.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa.nm_ext import pack_nmldh_operand
+from ..sim.dcu import SHIFT_SELECTIONS
+from ..sim.functional import MMIO_HALT
+from .layout import NetworkDataLayout
+
+__all__ = ["extension_kernel", "baseline_kernel", "kernel_source"]
+
+
+def _header(layout: NetworkDataLayout, *, tau_select: int, pin_voltage: bool, kernel: str) -> List[str]:
+    """Common prologue: symbol definitions and register initialisation."""
+    nmldh_word = pack_nmldh_operand(fine_timestep=False, pin_voltage=pin_voltage)
+    lines = [
+        f"# ---- {kernel} kernel: {layout.num_neurons} neurons, {layout.num_steps} steps ----",
+        "# Register convention:",
+        "#   s0 = NUM_NEURONS        s1 = NUM_STEPS       s2 = VU pointer",
+        "#   s3 = current pointer    s4 = parameter ptr   s5 = input pointer",
+        "#   s6 = spike buffer base  s7 = total spikes    s8 = step counter",
+        "#   s9 = neuron counter     s10 = tau select     s11 = spikes this step",
+    ]
+    for name, value in layout.as_symbols().items():
+        lines.append(f".equ {name}, {value}")
+    lines += [
+        f".equ TAU_SELECT, {tau_select}",
+        f".equ MMIO_HALT_ADDR, {MMIO_HALT}",
+        "",
+        "_start:",
+        "    li   s0, NUM_NEURONS",
+        "    li   s1, NUM_STEPS",
+        "    li   s6, SPIKE_BUF_BASE",
+        "    li   s7, 0",
+        "    li   s8, 0",
+        "    li   s10, TAU_SELECT",
+        "    li   s5, INPUT_BASE",
+    ]
+    if kernel == "extension":
+        lines += [
+            f"    li   t0, {nmldh_word}",
+            "    nmldh x0, t0, x0          # configure timestep (0.5 ms) and pin bit",
+        ]
+    return lines
+
+
+def _footer(kernel: str) -> List[str]:
+    """Result write-out, VU checksum and halt."""
+    p = kernel[:3]
+    return [
+        f"{p}_all_steps_done:",
+        "    li   t0, RESULT_BASE",
+        "    sw   s7, 0(t0)              # result[0] = total spikes",
+        "    # checksum of the final VU words -> result[1]",
+        "    li   t1, VU_BASE",
+        "    li   t2, 0",
+        "    li   t3, 0",
+        f"{p}_checksum_loop:",
+        "    lw   t4, 0(t1)",
+        "    xor  t2, t2, t4",
+        "    addi t1, t1, 4",
+        "    addi t3, t3, 1",
+        f"    blt  t3, s0, {p}_checksum_loop",
+        "    sw   t2, 4(t0)              # result[1] = VU checksum",
+        "    li   t5, MMIO_HALT_ADDR",
+        "    sw   x0, 0(t5)              # halt the simulation",
+    ]
+
+
+def _step_prologue(kernel: str) -> List[str]:
+    p = kernel[:3]
+    return [
+        "",
+        f"{p}_time_loop:",
+        "    li   s2, VU_BASE",
+        "    li   s3, CURRENT_BASE",
+        "    li   s4, PARAM_BASE",
+        "    li   s9, 0                  # neuron index",
+        "    li   s11, 0                 # spikes in this step",
+    ]
+
+
+def _spike_record(kernel: str) -> List[str]:
+    """Append the spiking neuron's index to the per-step spike buffer."""
+    p = kernel[:3]
+    return [
+        f"    beqz a2, {p}_no_spike",
+        "    slli t0, s11, 2",
+        "    add  t0, t0, s6",
+        "    sw   s9, 0(t0)              # record spiking neuron index",
+        "    addi s11, s11, 1",
+        f"{p}_no_spike:",
+    ]
+
+
+def _neuron_loop_epilogue(kernel: str) -> List[str]:
+    p = kernel[:3]
+    return [
+        "    addi s2, s2, 4",
+        "    addi s3, s3, 4",
+        "    addi s4, s4, 8",
+        "    addi s5, s5, 4",
+        "    addi s9, s9, 1",
+        f"    blt  s9, s0, {p}_neuron_loop",
+    ]
+
+
+def _propagation_loop(kernel: str) -> List[str]:
+    """Spike propagation through the CSR connectivity."""
+    p = kernel[:3]
+    return [
+        "    add  s7, s7, s11            # accumulate total spikes",
+        "    li   t0, 0                  # spike-buffer index",
+        f"{p}_prop_loop:",
+        f"    bge  t0, s11, {p}_prop_done",
+        "    slli t1, t0, 2",
+        "    add  t1, t1, s6",
+        "    lw   t2, 0(t1)              # spiking neuron id",
+        "    slli t3, t2, 2",
+        "    li   t4, ROWPTR_BASE",
+        "    add  t3, t3, t4",
+        "    lw   t5, 0(t3)              # row start",
+        "    lw   t6, 4(t3)              # row end",
+        f"{p}_prop_inner:",
+        f"    bge  t5, t6, {p}_prop_next",
+        "    slli a0, t5, 2",
+        "    li   a1, SYN_INDEX_BASE",
+        "    add  a1, a1, a0",
+        "    lw   a2, 0(a1)              # postsynaptic index",
+        "    li   a3, SYN_WEIGHT_BASE",
+        "    add  a3, a3, a0",
+        "    lw   a3, 0(a3)              # weight (Q15.16)",
+        "    slli a2, a2, 2",
+        "    li   a4, CURRENT_BASE",
+        "    add  a4, a4, a2",
+        "    lw   a5, 0(a4)",
+        "    add  a5, a5, a3",
+        "    sw   a5, 0(a4)              # I[target] += weight",
+        "    addi t5, t5, 1",
+        f"    j    {p}_prop_inner",
+        f"{p}_prop_next:",
+        "    addi t0, t0, 1",
+        f"    j    {p}_prop_loop",
+        f"{p}_prop_done:",
+        "    addi s8, s8, 1",
+        f"    blt  s8, s1, {kernel[:3]}_time_loop",
+    ]
+
+
+def _decay_shift_add(tau_select: int, src: str, dst: str, scratch: str) -> List[str]:
+    """Emit the DCU shift-add division approximation for the baseline kernel.
+
+    Computes ``dst = src - ((Σ src >> shift_i) >> 1)`` — identical to the
+    ``nmdec`` semantics with the 0.5 ms timestep.
+    """
+    shifts = SHIFT_SELECTIONS[tau_select]
+    lines = [f"    srai {dst}, {src}, {shifts[0]}"]
+    for shift in shifts[1:]:
+        lines.append(f"    srai {scratch}, {src}, {shift}")
+        lines.append(f"    add  {dst}, {dst}, {scratch}")
+    lines.append(f"    srai {dst}, {dst}, 1            # multiply by h = 0.5 ms")
+    lines.append(f"    sub  {dst}, {src}, {dst}")
+    return lines
+
+
+def extension_kernel(layout: NetworkDataLayout, *, tau_select: int = 4, pin_voltage: bool = False) -> str:
+    """Generate the neuromorphic-extension program (paper Listing 1 style)."""
+    lines = _header(layout, tau_select=tau_select, pin_voltage=pin_voltage, kernel="extension")
+    lines += _step_prologue("extension")
+    lines += [
+        "ext_neuron_loop:",
+        "    lw   a6, 0(s4)              # (b << 16 | a) parameter word",
+        "    lw   a7, 4(s4)              # (d << 16 | c) parameter word",
+        "    nmldl x0, a6, a7            # load a, b, c, d into the NM registers",
+        "    lw   t5, 0(s5)              # external (thalamic) input",
+        "    lw   a1, 0(s3)              # synaptic current I[n]",
+        "    add  a1, a1, t5",
+        "    lw   a0, 0(s2)              # packed VU word",
+        "    add  a2, x0, s2             # VU address for the nmpn writeback",
+        "    nmpn a2, a0, a1             # single-cycle neuron update, a2 <- spike",
+        "    nmdec a3, s10, a1           # single-cycle current decay",
+        "    sw   a3, 0(s3)",
+    ]
+    lines += _spike_record("extension")
+    lines += _neuron_loop_epilogue("extension")
+    lines += _propagation_loop("extension")
+    lines += _footer("extension")
+    return "\n".join(lines) + "\n"
+
+
+def baseline_kernel(layout: NetworkDataLayout, *, tau_select: int = 4, pin_voltage: bool = False) -> str:
+    """Generate the base-ISA (RV32IM, fixed-point) program.
+
+    The arithmetic mirrors the NPU datapath exactly: Q.16 accumulator,
+    timestep as a right shift, reset/threshold in Q7.8 and the DCU
+    shift-add decay, so the trajectory is bit-identical to the extension
+    program (a property the integration tests verify).
+    """
+    lines = _header(layout, tau_select=tau_select, pin_voltage=pin_voltage, kernel="baseline")
+    lines += _step_prologue("baseline")
+    lines += [
+        "bas_neuron_loop:",
+        "    lw   a6, 0(s4)              # (b << 16 | a)",
+        "    lw   a7, 4(s4)              # (d << 16 | c)",
+        "    lw   t5, 0(s5)              # external input",
+        "    lw   a1, 0(s3)              # synaptic current I[n]",
+        "    add  a1, a1, t5",
+        "    lw   a0, 0(s2)              # packed VU word",
+        "    # ---- unpack parameters and state ----",
+        "    slli t0, a6, 16",
+        "    srai t0, t0, 16             # a (Q4.11)",
+        "    srai t1, a6, 16             # b (Q4.11)",
+        "    slli t2, a7, 16",
+        "    srai t2, t2, 16             # c (Q7.8)",
+        "    srai t3, a7, 16             # d (Q4.11)",
+        "    srai t4, a0, 16             # v (Q7.8)",
+        "    slli t6, a0, 16",
+        "    srai t6, t6, 16             # u (Q7.8)",
+        "    slli a2, t4, 8              # v accumulator (Q.16)",
+        "    slli a3, t6, 8              # u accumulator (Q.16)",
+        "    # ---- dv = (0.04 v^2 + 5 v + 140 - u + I) * h ----",
+        "    mul  a4, t4, t4             # v*v (Q.16), needs 64-bit product below",
+        "    li   a5, 82                 # 0.04 in Q4.11",
+        "    mulh a6, a4, a5             # wide product of 0.04 * v^2",
+        "    mul  a4, a4, a5",
+        "    srli a4, a4, 11",
+        "    slli a6, a6, 21",
+        "    or   a4, a4, a6             # (0.04 v^2) in Q.16",
+        "    slli a5, a2, 2",
+        "    add  a5, a5, a2             # 5 * v_acc",
+        "    add  a4, a4, a5",
+        "    li   a5, 9175040            # 140 << 16",
+        "    add  a4, a4, a5",
+        "    sub  a4, a4, a3",
+        "    add  a4, a4, a1",
+        "    srai a4, a4, 1              # * h (0.5 ms)",
+        "    add  a2, a2, a4             # v_new accumulator",
+        "    # ---- du = a (b v - u) * h ----",
+        "    mul  a5, t1, t4             # b*v (Q.19)",
+        "    srai a5, a5, 3              # -> Q.16",
+        "    sub  a5, a5, a3",
+        "    mul  a5, a5, t0             # * a",
+        "    srai a5, a5, 11",
+        "    srai a5, a5, 1              # * h",
+        "    add  a3, a3, a5             # u_new accumulator",
+        "    srai a2, a2, 8              # v_new (Q7.8)",
+        "    srai a3, a3, 8              # u_new (Q7.8)",
+        "    # ---- spike detection and reset ----",
+        "    li   a4, 7680               # 30 mV threshold in Q7.8",
+        "    li   a6, 0                  # spike flag",
+        "    blt  a2, a4, bas_below_threshold",
+        "    add  a2, x0, t2             # v <- c",
+        "    srai a5, t3, 3              # d in Q7.8",
+        "    add  a3, a3, a5             # u <- u + d",
+        "    li   a6, 1",
+        "bas_below_threshold:",
+    ]
+    if pin_voltage:
+        lines += [
+            "    bge  a2, t2, bas_no_pin     # pin v at the reset potential",
+            "    add  a2, x0, t2",
+            "bas_no_pin:",
+        ]
+    lines += [
+        "    # ---- pack and store the VU word ----",
+        "    slli a2, a2, 16",
+        "    slli a3, a3, 16",
+        "    srli a3, a3, 16",
+        "    or   a0, a2, a3",
+        "    sw   a0, 0(s2)",
+        "    add  a2, x0, a6             # spike flag for the recording code",
+        "    # ---- synaptic current decay (DCU shift-add approximation) ----",
+    ]
+    lines += _decay_shift_add(tau_select, src="a1", dst="a3", scratch="a4")
+    lines += [
+        "    sw   a3, 0(s3)",
+    ]
+    lines += _spike_record("baseline")
+    lines += _neuron_loop_epilogue("baseline")
+    lines += _propagation_loop("baseline")
+    lines += _footer("baseline")
+    return "\n".join(lines) + "\n"
+
+
+def kernel_source(kind: str, layout: NetworkDataLayout, *, tau_select: int = 4, pin_voltage: bool = False) -> str:
+    """Dispatch on the kernel kind (``"extension"`` or ``"baseline"``)."""
+    if kind == "extension":
+        return extension_kernel(layout, tau_select=tau_select, pin_voltage=pin_voltage)
+    if kind == "baseline":
+        return baseline_kernel(layout, tau_select=tau_select, pin_voltage=pin_voltage)
+    raise ValueError(f"unknown kernel kind {kind!r}")

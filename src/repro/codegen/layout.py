@@ -1,0 +1,244 @@
+"""Memory layout and data encoding for the generated evaluation programs.
+
+The evaluation programs (the 80-20 loop and the Sudoku WTA loop of paper
+§VI) keep all network state in the on-chip memory region, mirroring the
+FPGA system: packed VU words, Q15.16 synaptic currents, per-neuron
+parameter words (in exactly the ``nmldl`` operand layout), a table of
+pre-computed external inputs for each simulated step, the recurrent
+connectivity in CSR form and a small result/scratch area.
+
+:class:`NetworkDataLayout` computes the addresses; :func:`encode_network_data`
+turns a :class:`WorkloadSpec` (parameters, initial state, weights, inputs)
+into the word image that is pre-loaded into the simulator's memory before
+the program runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..fixedpoint import Q4_11, Q7_8, Q15_16
+from ..fixedpoint.vuword import pack_vu
+
+__all__ = ["ONCHIP_BASE", "NetworkDataLayout", "WorkloadSpec", "encode_network_data"]
+
+#: Base of the on-chip data region (see :func:`repro.sim.memory.DEFAULT_MEMORY_MAP`).
+ONCHIP_BASE = 0x1000_0000
+
+_MASK16 = 0xFFFF
+
+
+@dataclass(frozen=True)
+class NetworkDataLayout:
+    """Addresses of every data structure used by the generated kernels."""
+
+    num_neurons: int
+    num_steps: int
+    num_synapses: int
+    base: int = ONCHIP_BASE
+
+    def _offset(self, words: int) -> int:
+        return words * 4
+
+    # Region sizes in words -------------------------------------------------
+    @property
+    def vu_base(self) -> int:
+        """Packed VU words, one per neuron."""
+        return self.base
+
+    @property
+    def current_base(self) -> int:
+        """Q15.16 synaptic currents, one per neuron."""
+        return self.vu_base + self._offset(self.num_neurons)
+
+    @property
+    def param_base(self) -> int:
+        """Two words per neuron: ``(b<<16|a)`` and ``(d<<16|c)`` (nmldl layout)."""
+        return self.current_base + self._offset(self.num_neurons)
+
+    @property
+    def input_base(self) -> int:
+        """Pre-computed external input, ``num_steps`` rows of ``num_neurons`` words."""
+        return self.param_base + self._offset(2 * self.num_neurons)
+
+    @property
+    def rowptr_base(self) -> int:
+        """CSR row-pointer array (``num_neurons + 1`` words)."""
+        return self.input_base + self._offset(self.num_steps * self.num_neurons)
+
+    @property
+    def syn_index_base(self) -> int:
+        """CSR column-index array (``num_synapses`` words)."""
+        return self.rowptr_base + self._offset(self.num_neurons + 1)
+
+    @property
+    def syn_weight_base(self) -> int:
+        """CSR weight array in Q15.16 (``num_synapses`` words)."""
+        return self.syn_index_base + self._offset(self.num_synapses)
+
+    @property
+    def spike_buffer_base(self) -> int:
+        """Scratch buffer of spiking neuron indices for the current step."""
+        return self.syn_weight_base + self._offset(self.num_synapses)
+
+    @property
+    def result_base(self) -> int:
+        """Result words: [0] total spikes, [1] checksum of VU words."""
+        return self.spike_buffer_base + self._offset(self.num_neurons)
+
+    @property
+    def end(self) -> int:
+        """First address past the data image."""
+        return self.result_base + self._offset(4)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.end - self.base
+
+    def as_symbols(self) -> Dict[str, int]:
+        """Symbol table handed to the assembler via ``.equ`` directives."""
+        return {
+            "VU_BASE": self.vu_base,
+            "CURRENT_BASE": self.current_base,
+            "PARAM_BASE": self.param_base,
+            "INPUT_BASE": self.input_base,
+            "ROWPTR_BASE": self.rowptr_base,
+            "SYN_INDEX_BASE": self.syn_index_base,
+            "SYN_WEIGHT_BASE": self.syn_weight_base,
+            "SPIKE_BUF_BASE": self.spike_buffer_base,
+            "RESULT_BASE": self.result_base,
+            "NUM_NEURONS": self.num_neurons,
+            "NUM_STEPS": self.num_steps,
+        }
+
+
+@dataclass
+class WorkloadSpec:
+    """A fully-specified SNN workload ready to be encoded and compiled.
+
+    Attributes
+    ----------
+    a, b, c, d:
+        Per-neuron Izhikevich parameters (real-valued; quantised when
+        encoded).
+    v0, u0:
+        Initial state (real-valued).
+    weights:
+        Dense ``[post, pre]`` weight matrix; zeros are dropped when the
+        CSR image is built.
+    external_input:
+        ``[num_steps, num_neurons]`` array of per-step injected currents.
+    tau_select:
+        DCU decay selector used by the kernel.
+    pin_voltage:
+        Whether the kernel configures the NPU membrane pin.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    d: np.ndarray
+    v0: np.ndarray
+    u0: np.ndarray
+    weights: np.ndarray
+    external_input: np.ndarray
+    tau_select: int = 4
+    pin_voltage: bool = False
+    name: str = "workload"
+
+    def __post_init__(self) -> None:
+        n = len(np.asarray(self.a))
+        for label in ("b", "c", "d", "v0", "u0"):
+            if len(np.asarray(getattr(self, label))) != n:
+                raise ValueError(f"parameter array {label!r} does not match population size {n}")
+        weights = np.asarray(self.weights)
+        if weights.shape != (n, n):
+            raise ValueError(f"weight matrix must be [{n}, {n}], got {weights.shape}")
+        inputs = np.asarray(self.external_input)
+        if inputs.ndim != 2 or inputs.shape[1] != n:
+            raise ValueError("external_input must be [num_steps, num_neurons]")
+
+    @property
+    def num_neurons(self) -> int:
+        return len(np.asarray(self.a))
+
+    @property
+    def num_steps(self) -> int:
+        return int(np.asarray(self.external_input).shape[0])
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR view of the weight matrix, row = presynaptic neuron.
+
+        Returns ``(row_ptr, col_index, weight)`` where row ``s`` lists the
+        postsynaptic targets of neuron ``s`` (the kernel walks this row
+        when neuron ``s`` spikes).
+        """
+        n = self.num_neurons
+        weights = np.asarray(self.weights, dtype=np.float64)
+        row_ptr = np.zeros(n + 1, dtype=np.int64)
+        cols: List[np.ndarray] = []
+        vals: List[np.ndarray] = []
+        for pre in range(n):
+            targets = np.nonzero(weights[:, pre])[0]
+            cols.append(targets)
+            vals.append(weights[targets, pre])
+            row_ptr[pre + 1] = row_ptr[pre] + len(targets)
+        col_index = np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64)
+        weight = np.concatenate(vals) if vals else np.zeros(0, dtype=np.float64)
+        return row_ptr, col_index.astype(np.int64), weight
+
+    def layout(self, *, base: int = ONCHIP_BASE) -> NetworkDataLayout:
+        row_ptr, col_index, _ = self.csr()
+        return NetworkDataLayout(
+            num_neurons=self.num_neurons,
+            num_steps=self.num_steps,
+            num_synapses=int(row_ptr[-1]),
+            base=base,
+        )
+
+
+def encode_network_data(spec: WorkloadSpec, layout: NetworkDataLayout) -> List[Tuple[int, int]]:
+    """Encode a workload into ``(address, word)`` pairs for memory pre-load."""
+    words: List[Tuple[int, int]] = []
+
+    v_raw = np.asarray(Q7_8.from_float(np.asarray(spec.v0, dtype=np.float64)))
+    u_raw = np.asarray(Q7_8.from_float(np.asarray(spec.u0, dtype=np.float64)))
+    vu_words = np.asarray(pack_vu(v_raw, u_raw))
+    for i, word in enumerate(vu_words):
+        words.append((layout.vu_base + 4 * i, int(word)))
+
+    for i in range(spec.num_neurons):
+        words.append((layout.current_base + 4 * i, 0))
+
+    a_bits = np.asarray(Q4_11.to_unsigned(Q4_11.from_float(np.asarray(spec.a, dtype=np.float64))))
+    b_bits = np.asarray(Q4_11.to_unsigned(Q4_11.from_float(np.asarray(spec.b, dtype=np.float64))))
+    c_bits = np.asarray(Q7_8.to_unsigned(Q7_8.from_float(np.asarray(spec.c, dtype=np.float64))))
+    d_bits = np.asarray(Q4_11.to_unsigned(Q4_11.from_float(np.asarray(spec.d, dtype=np.float64))))
+    for i in range(spec.num_neurons):
+        ab_word = ((int(b_bits[i]) & _MASK16) << 16) | (int(a_bits[i]) & _MASK16)
+        dc_word = ((int(d_bits[i]) & _MASK16) << 16) | (int(c_bits[i]) & _MASK16)
+        words.append((layout.param_base + 8 * i, ab_word))
+        words.append((layout.param_base + 8 * i + 4, dc_word))
+
+    inputs = np.asarray(spec.external_input, dtype=np.float64)
+    input_raw = np.asarray(Q15_16.from_float(inputs))
+    input_bits = np.asarray(Q15_16.to_unsigned(input_raw))
+    for t in range(spec.num_steps):
+        base = layout.input_base + 4 * t * spec.num_neurons
+        for i in range(spec.num_neurons):
+            words.append((base + 4 * i, int(input_bits[t, i])))
+
+    row_ptr, col_index, weight = spec.csr()
+    for i, value in enumerate(row_ptr):
+        words.append((layout.rowptr_base + 4 * i, int(value)))
+    weight_bits = np.asarray(Q15_16.to_unsigned(Q15_16.from_float(weight))) if len(weight) else []
+    for k in range(len(col_index)):
+        words.append((layout.syn_index_base + 4 * k, int(col_index[k])))
+        words.append((layout.syn_weight_base + 4 * k, int(weight_bits[k])))
+
+    for i in range(4):
+        words.append((layout.result_base + 4 * i, 0))
+    return words

@@ -1,0 +1,155 @@
+"""Vectorised arithmetic on raw fixed-point payloads.
+
+The NPU performs the Izhikevich update with a *variable-width accumulator*
+("the calculations ... are done with a variable size of the accumulator,
+because different operands use different fixed-point formats", paper §V-B)
+and only narrows back to Q7.8 at the end.  These helpers mirror that style:
+every operation takes raw integer payloads together with their formats,
+performs the exact integer computation in 64-bit arithmetic and returns the
+result in an explicit output format.
+
+All functions accept scalars or NumPy arrays and broadcast like NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .qformat import Overflow, QFormat, Rounding
+
+__all__ = [
+    "align",
+    "fx_add",
+    "fx_sub",
+    "fx_mul",
+    "fx_neg",
+    "fx_shift_right",
+    "fx_shift_left",
+    "fx_compare",
+    "requantize",
+]
+
+ArrayLike = Union[int, np.ndarray]
+
+
+def _as_i64(x: ArrayLike) -> np.ndarray:
+    return np.asarray(x, dtype=np.int64)
+
+
+def _maybe_scalar(result: np.ndarray, *inputs: ArrayLike) -> ArrayLike:
+    if all(np.ndim(i) == 0 for i in inputs):
+        return int(result)
+    return result
+
+
+def align(raw: ArrayLike, fmt: QFormat, frac_bits: int) -> ArrayLike:
+    """Shift a raw payload so that it has ``frac_bits`` fractional bits.
+
+    Left shifts are exact; right shifts use an arithmetic (floor) shift,
+    matching the hardware's narrowing behaviour.
+    """
+    arr = _as_i64(raw)
+    shift = frac_bits - fmt.frac_bits
+    out = arr << shift if shift >= 0 else arr >> (-shift)
+    return _maybe_scalar(out, raw)
+
+
+def requantize(
+    raw: ArrayLike,
+    src: QFormat,
+    dst: QFormat,
+    *,
+    rounding: Rounding = Rounding.FLOOR,
+    overflow: Overflow = Overflow.SATURATE,
+) -> ArrayLike:
+    """Convert a raw payload from ``src`` format to ``dst`` format."""
+    return src.convert_raw(raw, dst, rounding=rounding, overflow=overflow)
+
+
+def fx_add(
+    a: ArrayLike,
+    a_fmt: QFormat,
+    b: ArrayLike,
+    b_fmt: QFormat,
+    out_fmt: QFormat,
+    *,
+    rounding: Rounding = Rounding.FLOOR,
+    overflow: Overflow = Overflow.SATURATE,
+) -> ArrayLike:
+    """Fixed-point addition ``a + b`` with explicit output format."""
+    frac = max(a_fmt.frac_bits, b_fmt.frac_bits)
+    wide = _as_i64(align(a, a_fmt, frac)) + _as_i64(align(b, b_fmt, frac))
+    out = QFormat(62 - frac, frac).convert_raw(wide, out_fmt, rounding=rounding, overflow=overflow)
+    return _maybe_scalar(np.asarray(out), a, b)
+
+
+def fx_sub(
+    a: ArrayLike,
+    a_fmt: QFormat,
+    b: ArrayLike,
+    b_fmt: QFormat,
+    out_fmt: QFormat,
+    *,
+    rounding: Rounding = Rounding.FLOOR,
+    overflow: Overflow = Overflow.SATURATE,
+) -> ArrayLike:
+    """Fixed-point subtraction ``a - b`` with explicit output format."""
+    frac = max(a_fmt.frac_bits, b_fmt.frac_bits)
+    wide = _as_i64(align(a, a_fmt, frac)) - _as_i64(align(b, b_fmt, frac))
+    out = QFormat(62 - frac, frac).convert_raw(wide, out_fmt, rounding=rounding, overflow=overflow)
+    return _maybe_scalar(np.asarray(out), a, b)
+
+
+def fx_mul(
+    a: ArrayLike,
+    a_fmt: QFormat,
+    b: ArrayLike,
+    b_fmt: QFormat,
+    out_fmt: QFormat,
+    *,
+    rounding: Rounding = Rounding.FLOOR,
+    overflow: Overflow = Overflow.SATURATE,
+) -> ArrayLike:
+    """Fixed-point multiplication ``a * b`` with explicit output format.
+
+    The exact product has ``a_fmt.frac_bits + b_fmt.frac_bits`` fractional
+    bits; it is narrowed to ``out_fmt`` with the requested rounding.
+    """
+    prod = _as_i64(a) * _as_i64(b)
+    prod_frac = a_fmt.frac_bits + b_fmt.frac_bits
+    wide_fmt = QFormat(62 - prod_frac, prod_frac)
+    out = wide_fmt.convert_raw(prod, out_fmt, rounding=rounding, overflow=overflow)
+    return _maybe_scalar(np.asarray(out), a, b)
+
+
+def fx_neg(a: ArrayLike, fmt: QFormat, *, overflow: Overflow = Overflow.SATURATE) -> ArrayLike:
+    """Fixed-point negation, saturating ``-raw_min`` by default."""
+    out = fmt.handle_overflow(-_as_i64(a), overflow)
+    return _maybe_scalar(np.asarray(out), a)
+
+
+def fx_shift_right(a: ArrayLike, shift: int) -> ArrayLike:
+    """Arithmetic right shift of the raw payload (format preserved)."""
+    if shift < 0:
+        raise ValueError("shift amount must be non-negative")
+    out = _as_i64(a) >> shift
+    return _maybe_scalar(out, a)
+
+
+def fx_shift_left(a: ArrayLike, shift: int, fmt: QFormat, *, overflow: Overflow = Overflow.SATURATE) -> ArrayLike:
+    """Left shift of the raw payload, range-checked in ``fmt``."""
+    if shift < 0:
+        raise ValueError("shift amount must be non-negative")
+    out = fmt.handle_overflow(_as_i64(a) << shift, overflow)
+    return _maybe_scalar(np.asarray(out), a)
+
+
+def fx_compare(a: ArrayLike, a_fmt: QFormat, b: ArrayLike, b_fmt: QFormat) -> ArrayLike:
+    """Three-way comparison of fixed-point values (-1, 0, +1)."""
+    frac = max(a_fmt.frac_bits, b_fmt.frac_bits)
+    av = _as_i64(align(a, a_fmt, frac))
+    bv = _as_i64(align(b, b_fmt, frac))
+    out = np.sign(av - bv).astype(np.int64)
+    return _maybe_scalar(out, a, b)

@@ -1,0 +1,59 @@
+"""Packing of the neuron state into the 32-bit VU word.
+
+The ``nmpn`` instruction exchanges the neuron state with software as a
+single 32-bit word holding the membrane potential ``v`` in the upper 16
+bits and the recovery variable ``u`` in the lower 16 bits, both in Q7.8
+(paper Table I).  These helpers convert between the packed machine-word
+view and (raw, raw) / (float, float) pairs, for scalars and arrays alike.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from .qformat import Q7_8
+
+__all__ = [
+    "pack_vu",
+    "unpack_vu",
+    "pack_vu_float",
+    "unpack_vu_float",
+]
+
+ArrayLike = Union[int, np.ndarray]
+
+_MASK16 = 0xFFFF
+_MASK32 = 0xFFFFFFFF
+
+
+def pack_vu(v_raw: ArrayLike, u_raw: ArrayLike) -> ArrayLike:
+    """Pack raw Q7.8 payloads ``v`` and ``u`` into an unsigned 32-bit word."""
+    v_bits = np.asarray(Q7_8.to_unsigned(v_raw), dtype=np.int64)
+    u_bits = np.asarray(Q7_8.to_unsigned(u_raw), dtype=np.int64)
+    word = ((v_bits << 16) | u_bits) & _MASK32
+    if np.ndim(v_raw) == 0 and np.ndim(u_raw) == 0:
+        return int(word)
+    return word
+
+
+def unpack_vu(word: ArrayLike) -> Tuple[ArrayLike, ArrayLike]:
+    """Unpack a 32-bit VU word into signed raw Q7.8 payloads ``(v, u)``."""
+    w = np.asarray(word, dtype=np.int64) & _MASK32
+    v_raw = Q7_8.from_unsigned((w >> 16) & _MASK16)
+    u_raw = Q7_8.from_unsigned(w & _MASK16)
+    if np.ndim(word) == 0:
+        return int(v_raw), int(u_raw)
+    return v_raw, u_raw
+
+
+def pack_vu_float(v: ArrayLike, u: ArrayLike) -> ArrayLike:
+    """Pack real-valued ``v`` and ``u`` (quantised to Q7.8) into a VU word."""
+    return pack_vu(Q7_8.from_float(v), Q7_8.from_float(u))
+
+
+def unpack_vu_float(word: ArrayLike) -> Tuple[ArrayLike, ArrayLike]:
+    """Unpack a VU word into real-valued ``(v, u)``."""
+    v_raw, u_raw = unpack_vu(word)
+    return Q7_8.to_float(v_raw), Q7_8.to_float(u_raw)

@@ -1,0 +1,41 @@
+"""Experiment harness: drivers for every paper table/figure plus reporting."""
+
+from . import paper_data
+from .experiments import (
+    CycleExperimentResult,
+    fig2_raster,
+    fig3_isi,
+    fig4_wta,
+    fig5_floorplan,
+    softfloat_speedup,
+    sudoku_solve_rate,
+    table1_isa_roundtrip,
+    table2_dcu,
+    table3_max10,
+    table4_agilex,
+    table5_eighty_twenty,
+    table6_sudoku,
+    table7_asic,
+)
+from .reporting import format_comparison, format_kv, format_table
+
+__all__ = [
+    "paper_data",
+    "CycleExperimentResult",
+    "fig2_raster",
+    "fig3_isi",
+    "fig4_wta",
+    "fig5_floorplan",
+    "softfloat_speedup",
+    "sudoku_solve_rate",
+    "table1_isa_roundtrip",
+    "table2_dcu",
+    "table3_max10",
+    "table4_agilex",
+    "table5_eighty_twenty",
+    "table6_sudoku",
+    "table7_asic",
+    "format_comparison",
+    "format_kv",
+    "format_table",
+]

@@ -1,0 +1,161 @@
+"""Published numbers from the paper, used for side-by-side comparison.
+
+Only the values the paper explicitly prints are recorded here; they are
+never used by the models themselves (except where DESIGN.md documents a
+calibration), only for the measured-vs-paper columns of the benchmark
+output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE2_AE_PERCENT",
+    "PAPER_TABLE3_MAX10",
+    "PAPER_TABLE4_AGILEX",
+    "PAPER_TABLE5_8020",
+    "PAPER_TABLE6_SUDOKU",
+    "PAPER_TABLE7_ASIC",
+    "PAPER_SPEEDUP_DUAL_CORE_8020",
+    "PAPER_SPEEDUP_DUAL_CORE_SUDOKU",
+    "PAPER_SOFTFLOAT_SPEEDUP",
+    "PAPER_MAX_AGILEX_CORES",
+]
+
+#: Table II — approximation error in percent per divider (as printed).
+#: The /6 entry is inconsistent with its own shift selection (see DESIGN.md).
+PAPER_TABLE2_AE_PERCENT = {2: 0.0, 3: 0.3906, 4: 0.0, 5: 0.3906, 6: 12.1093, 7: 0.1953, 8: 0.0}
+
+#: Table III — dual-core MAX10 utilisation.
+PAPER_TABLE3_MAX10 = {
+    "frequency_mhz": 30.0,
+    "logic_elements": 49248,
+    "logic_percent": 99.0,
+    "flipflops": 28235,
+    "ff_percent": 51.0,
+    "bram_kb": 346.468,
+    "bram_percent": 21.0,
+    "multipliers": 68,
+    "mult_percent": 24.0,
+}
+
+#: Table IV — Agilex-7 utilisation for 16/32/64 cores at 100 MHz.
+PAPER_TABLE4_AGILEX = {
+    16: {"alm": 107144, "ff": 95624, "ram_blocks": 390, "dsp": 152},
+    32: {"alm": 216448, "ff": 186760, "ram_blocks": 646, "dsp": 304},
+    64: {"alm": 420977, "ff": 372741, "ram_blocks": 1158, "dsp": 608},
+}
+
+#: Table V — 80-20 network performance metrics (1000 neurons, 1000 steps).
+PAPER_TABLE5_8020 = {
+    "single": {
+        "speedup": 1.0,
+        "execution_time_s": 7.870,
+        "ipc": 0.5735,
+        "ipc_eff": 0.6516,
+        "hazard_stall_percent": 0.742,
+        "cache_misses": 1306420,
+        "icache_hit_rate": 99.97,
+        "dcache_hit_rate": 96.54,
+        "memory_intensity": 27.15,
+    },
+    "dual_core1": {
+        "execution_time_s": 4.791,
+        "ipc": 0.5317,
+        "ipc_eff": 0.6637,
+        "hazard_stall_percent": 5.344,
+        "cache_misses": 639798,
+        "icache_hit_rate": 99.97,
+        "dcache_hit_rate": 97.18,
+        "memory_intensity": 28.88,
+    },
+    "dual_core2": {
+        "execution_time_s": 4.7906,
+        "ipc": 0.51887,
+        "ipc_eff": 0.6508,
+        "hazard_stall_percent": 6.259,
+        "cache_misses": 675623,
+        "icache_hit_rate": 99.97,
+        "dcache_hit_rate": 97.09,
+        "memory_intensity": 30.12,
+    },
+}
+
+#: Table VI — Sudoku solver per-timestep metrics (729 neurons).
+PAPER_TABLE6_SUDOKU = {
+    "single": {
+        "speedup": 1.0,
+        "time_per_step_ms": 2.0555,
+        "ipc": 0.5304,
+        "ipc_eff": 0.7564,
+        "hazard_stall_percent": 5.136,
+        "icache_hit_rate": 98.7230,
+        "dcache_hit_rate": 99.9999,
+        "memory_intensity": 21.3853,
+    },
+    "dual_core1": {
+        "time_per_step_ms": 1.2223,
+        "ipc": 0.4960,
+        "ipc_eff": 0.8635,
+        "hazard_stall_percent": 6.4793,
+        "icache_hit_rate": 98.6848,
+        "dcache_hit_rate": 100.0,
+        "memory_intensity": 22.3176,
+    },
+    "dual_core2": {
+        "time_per_step_ms": 1.2223,
+        "ipc": 0.4194,
+        "ipc_eff": 0.7865,
+        "hazard_stall_percent": 9.1493,
+        "icache_hit_rate": 98.8331,
+        "dcache_hit_rate": 99.9999,
+        "memory_intensity": 23.9244,
+    },
+}
+
+#: Table VII — standard-cell mapping results.
+PAPER_TABLE7_ASIC = {
+    "FreePDK45": {
+        "total_area_um2": 95654.664,
+        "fetch_decode_um2": 16924.250,
+        "icache_um2": 10588.662,
+        "dcache_um2": 12097.414,
+        "hazard_um2": 146.300,
+        "alu_um2": 19873.924,
+        "npu_um2": 19516.154,
+        "dcu_um2": 2005.640,
+        "other_um2": 11449.172,
+        "total_power_mw": 49.5,
+        "internal_power_mw": 25.7,
+        "switching_power_mw": 21.5,
+        "leakage_uw": 2.31,
+        "clock_mhz": 201.5,
+        "throughput_mupd_s": 67.6,
+        "power_efficiency_gupd_s_w": 1.371,
+        "peak_neural_gips": 3.022,
+    },
+    "ASAP7": {
+        "total_area_um2": 6599.375,
+        "fetch_decode_um2": 1116.522,
+        "icache_um2": 723.941,
+        "dcache_um2": 799.830,
+        "hazard_um2": 7.480,
+        "alu_um2": 1441.364,
+        "npu_um2": 1292.196,
+        "dcu_um2": 141.411,
+        "other_um2": 809.584,
+        "total_power_mw": 10.9,
+        "internal_power_mw": 6.05,
+        "switching_power_mw": 4.85,
+        "leakage_uw": 6.45,
+        "clock_mhz": 316.3,
+        "throughput_mupd_s": 105.4,
+        "power_efficiency_gupd_s_w": 9.67,
+        "peak_neural_gips": 4.74,
+    },
+}
+
+#: §VI-B / §VI-C headline speedups.
+PAPER_SPEEDUP_DUAL_CORE_8020 = 1.643
+PAPER_SPEEDUP_DUAL_CORE_SUDOKU = 1.682
+PAPER_SOFTFLOAT_SPEEDUP = 40.0
+PAPER_MAX_AGILEX_CORES = 192

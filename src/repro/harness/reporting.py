@@ -1,0 +1,65 @@
+"""Plain-text table rendering used by the benchmarks and examples.
+
+The paper's evaluation is a set of tables and figures; the harness prints
+each regenerated artefact as an aligned text table (optionally with the
+paper's published value next to the measured one) so ``pytest
+benchmarks/ --benchmark-only -s`` reproduces the evaluation section in the
+terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_comparison", "format_kv"]
+
+Cell = Union[str, int, float]
+
+
+def _fmt(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], *, title: Optional[str] = None) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    metric_rows: Dict[str, Dict[str, Cell]],
+    *,
+    columns: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render a ``metric -> {column -> value}`` mapping as a table."""
+    headers = ["Metric", *columns]
+    rows = []
+    for metric, values in metric_rows.items():
+        rows.append([metric, *[values.get(col, "-") for col in columns]])
+    return format_table(headers, rows, title=title)
+
+
+def format_kv(values: Dict[str, Cell], *, title: Optional[str] = None) -> str:
+    """Render a flat key/value mapping."""
+    return format_table(["Quantity", "Value"], list(values.items()), title=title)

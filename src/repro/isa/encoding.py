@@ -1,0 +1,237 @@
+"""RISC-V instruction-word encoding and field extraction.
+
+Implements the six base instruction formats of the RV32I/RV32M user-level
+ISA (R, I, S, B, U, J) plus bit-field helpers shared by the assembler,
+the disassembler and the simulators.  The custom neuromorphic instructions
+("N"-type ``nmpn`` and R-type ``nmldl``/``nmldh``/``nmdec``) reuse the
+R-type field layout, see :mod:`repro.isa.nm_ext`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = [
+    "InstrFormat",
+    "sign_extend",
+    "to_unsigned32",
+    "to_signed32",
+    "encode_r",
+    "encode_i",
+    "encode_s",
+    "encode_b",
+    "encode_u",
+    "encode_j",
+    "decode_fields",
+    "imm_i",
+    "imm_s",
+    "imm_b",
+    "imm_u",
+    "imm_j",
+    "OPCODE_LUI",
+    "OPCODE_AUIPC",
+    "OPCODE_JAL",
+    "OPCODE_JALR",
+    "OPCODE_BRANCH",
+    "OPCODE_LOAD",
+    "OPCODE_STORE",
+    "OPCODE_OP_IMM",
+    "OPCODE_OP",
+    "OPCODE_MISC_MEM",
+    "OPCODE_SYSTEM",
+    "OPCODE_CUSTOM0",
+]
+
+MASK32 = 0xFFFFFFFF
+
+# Major opcodes (RISC-V unprivileged spec, table 24.1).
+OPCODE_LOAD = 0b0000011
+OPCODE_MISC_MEM = 0b0001111
+OPCODE_OP_IMM = 0b0010011
+OPCODE_AUIPC = 0b0010111
+OPCODE_STORE = 0b0100011
+OPCODE_OP = 0b0110011
+OPCODE_LUI = 0b0110111
+OPCODE_BRANCH = 0b1100011
+OPCODE_JALR = 0b1100111
+OPCODE_JAL = 0b1101111
+OPCODE_SYSTEM = 0b1110011
+#: ``custom-0`` opcode used by the neuromorphic extension (paper Table I).
+OPCODE_CUSTOM0 = 0b0001011
+
+
+class InstrFormat(Enum):
+    """RISC-V instruction encoding formats."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - canonical RISC-V format name
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+    #: The paper's hybrid format for ``nmpn``: encoded like R-type but the
+    #: ``rd`` field is read as a source (address) in decode and written
+    #: with the spike flag at writeback.
+    N = "N"
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend ``value`` from ``bits`` bits to a Python int."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def to_unsigned32(value: int) -> int:
+    """Reduce an integer to its unsigned 32-bit representation."""
+    return value & MASK32
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    return sign_extend(value, 32)
+
+
+def _check_range(name: str, value: int, bits: int, signed: bool) -> None:
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} value {value} does not fit in {bits} {'signed' if signed else 'unsigned'} bits")
+
+
+def _check_reg(name: str, value: int) -> None:
+    if not 0 <= value < 32:
+        raise ValueError(f"{name} register index out of range: {value}")
+
+
+def encode_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int, funct7: int) -> int:
+    """Encode an R-type instruction word."""
+    _check_reg("rd", rd), _check_reg("rs1", rs1), _check_reg("rs2", rs2)
+    return (
+        (funct7 & 0x7F) << 25
+        | (rs2 & 0x1F) << 20
+        | (rs1 & 0x1F) << 15
+        | (funct3 & 0x7) << 12
+        | (rd & 0x1F) << 7
+        | (opcode & 0x7F)
+    )
+
+
+def encode_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    """Encode an I-type instruction word (12-bit signed immediate)."""
+    _check_reg("rd", rd), _check_reg("rs1", rs1)
+    _check_range("I-immediate", sign_extend(imm & 0xFFF, 12), 12, True)
+    imm &= 0xFFF
+    return (imm << 20) | (rs1 & 0x1F) << 15 | (funct3 & 0x7) << 12 | (rd & 0x1F) << 7 | (opcode & 0x7F)
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """Encode an S-type instruction word (12-bit signed immediate)."""
+    _check_reg("rs1", rs1), _check_reg("rs2", rs2)
+    imm &= 0xFFF
+    imm_11_5 = (imm >> 5) & 0x7F
+    imm_4_0 = imm & 0x1F
+    return (
+        imm_11_5 << 25
+        | (rs2 & 0x1F) << 20
+        | (rs1 & 0x1F) << 15
+        | (funct3 & 0x7) << 12
+        | imm_4_0 << 7
+        | (opcode & 0x7F)
+    )
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """Encode a B-type instruction word (13-bit signed, bit 0 implicit)."""
+    _check_reg("rs1", rs1), _check_reg("rs2", rs2)
+    if imm % 2 != 0:
+        raise ValueError(f"branch offset must be even, got {imm}")
+    _check_range("B-immediate", imm, 13, True)
+    imm &= 0x1FFF
+    return (
+        ((imm >> 12) & 0x1) << 31
+        | ((imm >> 5) & 0x3F) << 25
+        | (rs2 & 0x1F) << 20
+        | (rs1 & 0x1F) << 15
+        | (funct3 & 0x7) << 12
+        | ((imm >> 1) & 0xF) << 8
+        | ((imm >> 11) & 0x1) << 7
+        | (opcode & 0x7F)
+    )
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    """Encode a U-type instruction word (imm is the upper-20-bit value)."""
+    _check_reg("rd", rd)
+    return ((imm & 0xFFFFF) << 12) | (rd & 0x1F) << 7 | (opcode & 0x7F)
+
+
+def encode_j(opcode: int, rd: int, imm: int) -> int:
+    """Encode a J-type instruction word (21-bit signed, bit 0 implicit)."""
+    _check_reg("rd", rd)
+    if imm % 2 != 0:
+        raise ValueError(f"jump offset must be even, got {imm}")
+    _check_range("J-immediate", imm, 21, True)
+    imm &= 0x1FFFFF
+    return (
+        ((imm >> 20) & 0x1) << 31
+        | ((imm >> 1) & 0x3FF) << 21
+        | ((imm >> 11) & 0x1) << 20
+        | ((imm >> 12) & 0xFF) << 12
+        | (rd & 0x1F) << 7
+        | (opcode & 0x7F)
+    )
+
+
+def decode_fields(word: int) -> dict:
+    """Extract the raw bit fields shared by all formats from a 32-bit word."""
+    word &= MASK32
+    return {
+        "opcode": word & 0x7F,
+        "rd": (word >> 7) & 0x1F,
+        "funct3": (word >> 12) & 0x7,
+        "rs1": (word >> 15) & 0x1F,
+        "rs2": (word >> 20) & 0x1F,
+        "funct7": (word >> 25) & 0x7F,
+    }
+
+
+def imm_i(word: int) -> int:
+    """Extract the sign-extended I-type immediate."""
+    return sign_extend(word >> 20, 12)
+
+
+def imm_s(word: int) -> int:
+    """Extract the sign-extended S-type immediate."""
+    imm = ((word >> 25) & 0x7F) << 5 | ((word >> 7) & 0x1F)
+    return sign_extend(imm, 12)
+
+
+def imm_b(word: int) -> int:
+    """Extract the sign-extended B-type immediate (byte offset)."""
+    imm = (
+        ((word >> 31) & 0x1) << 12
+        | ((word >> 7) & 0x1) << 11
+        | ((word >> 25) & 0x3F) << 5
+        | ((word >> 8) & 0xF) << 1
+    )
+    return sign_extend(imm, 13)
+
+
+def imm_u(word: int) -> int:
+    """Extract the U-type immediate (already shifted into bits 31:12)."""
+    return to_signed32(word & 0xFFFFF000)
+
+
+def imm_j(word: int) -> int:
+    """Extract the sign-extended J-type immediate (byte offset)."""
+    imm = (
+        ((word >> 31) & 0x1) << 20
+        | ((word >> 12) & 0xFF) << 12
+        | ((word >> 20) & 0x1) << 11
+        | ((word >> 21) & 0x3FF) << 1
+    )
+    return sign_extend(imm, 21)

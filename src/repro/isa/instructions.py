@@ -1,0 +1,337 @@
+"""Instruction registry and decoder for RV32IM plus the neuromorphic extension.
+
+The registry maps mnemonics to :class:`InstrSpec` (format, opcode, funct3,
+funct7) and the :func:`decode` function turns a 32-bit instruction word into
+a :class:`DecodedInstr` used by the functional and cycle-level simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from . import encoding as enc
+from .encoding import InstrFormat
+
+__all__ = [
+    "InstrSpec",
+    "DecodedInstr",
+    "INSTRUCTIONS",
+    "lookup",
+    "decode",
+    "encode",
+    "NM_MNEMONICS",
+]
+
+#: Mnemonics of the custom neuromorphic instructions (paper Table I).
+NM_MNEMONICS = ("nmldl", "nmldh", "nmpn", "nmdec")
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one instruction encoding."""
+
+    name: str
+    fmt: InstrFormat
+    opcode: int
+    funct3: Optional[int] = None
+    funct7: Optional[int] = None
+
+    def encode(self, rd: int = 0, rs1: int = 0, rs2: int = 0, imm: int = 0) -> int:
+        """Encode this instruction with the given operands."""
+        f3 = self.funct3 or 0
+        f7 = self.funct7 or 0
+        if self.fmt in (InstrFormat.R, InstrFormat.N):
+            return enc.encode_r(self.opcode, rd, f3, rs1, rs2, f7)
+        if self.fmt is InstrFormat.I:
+            if self.name in ("slli", "srli", "srai"):
+                shamt = imm & 0x1F
+                return enc.encode_i(self.opcode, rd, f3, rs1, (f7 << 5) | shamt)
+            return enc.encode_i(self.opcode, rd, f3, rs1, imm)
+        if self.fmt is InstrFormat.S:
+            return enc.encode_s(self.opcode, f3, rs1, rs2, imm)
+        if self.fmt is InstrFormat.B:
+            return enc.encode_b(self.opcode, f3, rs1, rs2, imm)
+        if self.fmt is InstrFormat.U:
+            return enc.encode_u(self.opcode, rd, imm)
+        if self.fmt is InstrFormat.J:
+            return enc.encode_j(self.opcode, rd, imm)
+        raise ValueError(f"cannot encode format {self.fmt}")  # pragma: no cover
+
+
+def _build_registry() -> Dict[str, InstrSpec]:
+    R, I, S, B, U, J, N = (
+        InstrFormat.R,
+        InstrFormat.I,
+        InstrFormat.S,
+        InstrFormat.B,
+        InstrFormat.U,
+        InstrFormat.J,
+        InstrFormat.N,
+    )
+    specs: List[InstrSpec] = [
+        # RV32I — upper immediates and jumps
+        InstrSpec("lui", U, enc.OPCODE_LUI),
+        InstrSpec("auipc", U, enc.OPCODE_AUIPC),
+        InstrSpec("jal", J, enc.OPCODE_JAL),
+        InstrSpec("jalr", I, enc.OPCODE_JALR, 0b000),
+        # RV32I — branches
+        InstrSpec("beq", B, enc.OPCODE_BRANCH, 0b000),
+        InstrSpec("bne", B, enc.OPCODE_BRANCH, 0b001),
+        InstrSpec("blt", B, enc.OPCODE_BRANCH, 0b100),
+        InstrSpec("bge", B, enc.OPCODE_BRANCH, 0b101),
+        InstrSpec("bltu", B, enc.OPCODE_BRANCH, 0b110),
+        InstrSpec("bgeu", B, enc.OPCODE_BRANCH, 0b111),
+        # RV32I — loads
+        InstrSpec("lb", I, enc.OPCODE_LOAD, 0b000),
+        InstrSpec("lh", I, enc.OPCODE_LOAD, 0b001),
+        InstrSpec("lw", I, enc.OPCODE_LOAD, 0b010),
+        InstrSpec("lbu", I, enc.OPCODE_LOAD, 0b100),
+        InstrSpec("lhu", I, enc.OPCODE_LOAD, 0b101),
+        # RV32I — stores
+        InstrSpec("sb", S, enc.OPCODE_STORE, 0b000),
+        InstrSpec("sh", S, enc.OPCODE_STORE, 0b001),
+        InstrSpec("sw", S, enc.OPCODE_STORE, 0b010),
+        # RV32I — register-immediate ALU
+        InstrSpec("addi", I, enc.OPCODE_OP_IMM, 0b000),
+        InstrSpec("slti", I, enc.OPCODE_OP_IMM, 0b010),
+        InstrSpec("sltiu", I, enc.OPCODE_OP_IMM, 0b011),
+        InstrSpec("xori", I, enc.OPCODE_OP_IMM, 0b100),
+        InstrSpec("ori", I, enc.OPCODE_OP_IMM, 0b110),
+        InstrSpec("andi", I, enc.OPCODE_OP_IMM, 0b111),
+        InstrSpec("slli", I, enc.OPCODE_OP_IMM, 0b001, 0b0000000),
+        InstrSpec("srli", I, enc.OPCODE_OP_IMM, 0b101, 0b0000000),
+        InstrSpec("srai", I, enc.OPCODE_OP_IMM, 0b101, 0b0100000),
+        # RV32I — register-register ALU
+        InstrSpec("add", R, enc.OPCODE_OP, 0b000, 0b0000000),
+        InstrSpec("sub", R, enc.OPCODE_OP, 0b000, 0b0100000),
+        InstrSpec("sll", R, enc.OPCODE_OP, 0b001, 0b0000000),
+        InstrSpec("slt", R, enc.OPCODE_OP, 0b010, 0b0000000),
+        InstrSpec("sltu", R, enc.OPCODE_OP, 0b011, 0b0000000),
+        InstrSpec("xor", R, enc.OPCODE_OP, 0b100, 0b0000000),
+        InstrSpec("srl", R, enc.OPCODE_OP, 0b101, 0b0000000),
+        InstrSpec("sra", R, enc.OPCODE_OP, 0b101, 0b0100000),
+        InstrSpec("or", R, enc.OPCODE_OP, 0b110, 0b0000000),
+        InstrSpec("and", R, enc.OPCODE_OP, 0b111, 0b0000000),
+        # RV32I — misc
+        InstrSpec("fence", I, enc.OPCODE_MISC_MEM, 0b000),
+        InstrSpec("ecall", I, enc.OPCODE_SYSTEM, 0b000),
+        InstrSpec("ebreak", I, enc.OPCODE_SYSTEM, 0b000),
+        # Zicsr subset (the paper mentions a possible CSR writeback path).
+        InstrSpec("csrrw", I, enc.OPCODE_SYSTEM, 0b001),
+        InstrSpec("csrrs", I, enc.OPCODE_SYSTEM, 0b010),
+        InstrSpec("csrrc", I, enc.OPCODE_SYSTEM, 0b011),
+        # RV32M
+        InstrSpec("mul", R, enc.OPCODE_OP, 0b000, 0b0000001),
+        InstrSpec("mulh", R, enc.OPCODE_OP, 0b001, 0b0000001),
+        InstrSpec("mulhsu", R, enc.OPCODE_OP, 0b010, 0b0000001),
+        InstrSpec("mulhu", R, enc.OPCODE_OP, 0b011, 0b0000001),
+        InstrSpec("div", R, enc.OPCODE_OP, 0b100, 0b0000001),
+        InstrSpec("divu", R, enc.OPCODE_OP, 0b101, 0b0000001),
+        InstrSpec("rem", R, enc.OPCODE_OP, 0b110, 0b0000001),
+        InstrSpec("remu", R, enc.OPCODE_OP, 0b111, 0b0000001),
+        # Neuromorphic extension on custom-0 (funct3 assignment is ours:
+        # the paper fixes only the opcode and the operand layout).
+        InstrSpec("nmldl", R, enc.OPCODE_CUSTOM0, 0b000, 0b0000000),
+        InstrSpec("nmldh", R, enc.OPCODE_CUSTOM0, 0b001, 0b0000000),
+        InstrSpec("nmpn", N, enc.OPCODE_CUSTOM0, 0b010, 0b0000000),
+        InstrSpec("nmdec", R, enc.OPCODE_CUSTOM0, 0b011, 0b0000000),
+    ]
+    return {s.name: s for s in specs}
+
+
+#: Global instruction registry keyed by mnemonic.
+INSTRUCTIONS: Dict[str, InstrSpec] = _build_registry()
+
+
+def lookup(name: str) -> InstrSpec:
+    """Return the :class:`InstrSpec` for a mnemonic (case-insensitive)."""
+    key = name.lower()
+    if key not in INSTRUCTIONS:
+        raise KeyError(f"unknown instruction mnemonic: {name!r}")
+    return INSTRUCTIONS[key]
+
+
+def encode(name: str, rd: int = 0, rs1: int = 0, rs2: int = 0, imm: int = 0) -> int:
+    """Encode an instruction by mnemonic with the given operand values."""
+    spec = lookup(name)
+    if spec.name == "ebreak":
+        return enc.encode_i(spec.opcode, 0, 0, 0, 1)
+    return spec.encode(rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+
+@dataclass(frozen=True)
+class DecodedInstr:
+    """A decoded instruction as consumed by the simulators."""
+
+    name: str
+    fmt: InstrFormat
+    rd: int
+    rs1: int
+    rs2: int
+    imm: int
+    word: int
+
+    # ------------------------------------------------------------------ #
+    # Operand/dependency views used by the hazard and forwarding logic
+    # ------------------------------------------------------------------ #
+    @property
+    def source_registers(self) -> Tuple[int, ...]:
+        """Architectural registers read by this instruction (x0 excluded)."""
+        srcs: List[int] = []
+        if self.fmt in (InstrFormat.R, InstrFormat.B, InstrFormat.S, InstrFormat.N):
+            srcs = [self.rs1, self.rs2]
+        elif self.fmt is InstrFormat.I:
+            srcs = [self.rs1]
+        if self.fmt is InstrFormat.N:
+            # nmpn also reads rd as the VU-word address (paper §IV-B).
+            srcs.append(self.rd)
+        return tuple(r for r in srcs if r != 0)
+
+    @property
+    def dest_register(self) -> Optional[int]:
+        """Architectural register written by this instruction, if any."""
+        if self.fmt in (InstrFormat.S, InstrFormat.B):
+            return None
+        if self.rd == 0:
+            return None
+        return self.rd
+
+    # ------------------------------------------------------------------ #
+    # Classification helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def is_load(self) -> bool:
+        return self.name in ("lb", "lh", "lw", "lbu", "lhu")
+
+    @property
+    def is_store(self) -> bool:
+        return self.name in ("sb", "sh", "sw")
+
+    @property
+    def is_branch(self) -> bool:
+        return self.fmt is InstrFormat.B
+
+    @property
+    def is_jump(self) -> bool:
+        return self.name in ("jal", "jalr")
+
+    @property
+    def is_mul(self) -> bool:
+        return self.name in ("mul", "mulh", "mulhsu", "mulhu")
+
+    @property
+    def is_div(self) -> bool:
+        return self.name in ("div", "divu", "rem", "remu")
+
+    @property
+    def is_neuromorphic(self) -> bool:
+        return self.name in NM_MNEMONICS
+
+    @property
+    def writes_memory(self) -> bool:
+        """``True`` for stores and for ``nmpn`` (which stores the VU word)."""
+        return self.is_store or self.name == "nmpn"
+
+    @property
+    def reads_memory(self) -> bool:
+        return self.is_load
+
+
+class IllegalInstructionError(Exception):
+    """Raised when a word cannot be decoded into a known instruction."""
+
+
+def _decode_op(word: int, f: dict) -> DecodedInstr:
+    key = (f["funct3"], f["funct7"])
+    table = {
+        (0b000, 0b0000000): "add", (0b000, 0b0100000): "sub",
+        (0b001, 0b0000000): "sll", (0b010, 0b0000000): "slt",
+        (0b011, 0b0000000): "sltu", (0b100, 0b0000000): "xor",
+        (0b101, 0b0000000): "srl", (0b101, 0b0100000): "sra",
+        (0b110, 0b0000000): "or", (0b111, 0b0000000): "and",
+        (0b000, 0b0000001): "mul", (0b001, 0b0000001): "mulh",
+        (0b010, 0b0000001): "mulhsu", (0b011, 0b0000001): "mulhu",
+        (0b100, 0b0000001): "div", (0b101, 0b0000001): "divu",
+        (0b110, 0b0000001): "rem", (0b111, 0b0000001): "remu",
+    }
+    if key not in table:
+        raise IllegalInstructionError(f"unknown OP encoding funct3={f['funct3']:#05b} funct7={f['funct7']:#09b}")
+    return DecodedInstr(table[key], InstrFormat.R, f["rd"], f["rs1"], f["rs2"], 0, word)
+
+
+def _decode_op_imm(word: int, f: dict) -> DecodedInstr:
+    names = {0b000: "addi", 0b010: "slti", 0b011: "sltiu", 0b100: "xori", 0b110: "ori", 0b111: "andi"}
+    f3 = f["funct3"]
+    if f3 in names:
+        return DecodedInstr(names[f3], InstrFormat.I, f["rd"], f["rs1"], 0, enc.imm_i(word), word)
+    shamt = (word >> 20) & 0x1F
+    if f3 == 0b001 and f["funct7"] == 0:
+        return DecodedInstr("slli", InstrFormat.I, f["rd"], f["rs1"], 0, shamt, word)
+    if f3 == 0b101 and f["funct7"] == 0:
+        return DecodedInstr("srli", InstrFormat.I, f["rd"], f["rs1"], 0, shamt, word)
+    if f3 == 0b101 and f["funct7"] == 0b0100000:
+        return DecodedInstr("srai", InstrFormat.I, f["rd"], f["rs1"], 0, shamt, word)
+    raise IllegalInstructionError(f"unknown OP-IMM encoding funct3={f3:#05b}")
+
+
+def _decode_custom0(word: int, f: dict) -> DecodedInstr:
+    names = {0b000: "nmldl", 0b001: "nmldh", 0b010: "nmpn", 0b011: "nmdec"}
+    f3 = f["funct3"]
+    if f3 not in names:
+        raise IllegalInstructionError(f"unknown custom-0 funct3={f3:#05b}")
+    fmt = InstrFormat.N if names[f3] == "nmpn" else InstrFormat.R
+    return DecodedInstr(names[f3], fmt, f["rd"], f["rs1"], f["rs2"], 0, word)
+
+
+def decode(word: int) -> DecodedInstr:
+    """Decode a 32-bit instruction word into a :class:`DecodedInstr`.
+
+    Raises
+    ------
+    IllegalInstructionError
+        If the word does not correspond to a supported RV32IM / custom-0
+        instruction.
+    """
+    word &= enc.MASK32
+    f = enc.decode_fields(word)
+    op = f["opcode"]
+    if op == enc.OPCODE_LUI:
+        return DecodedInstr("lui", InstrFormat.U, f["rd"], 0, 0, enc.imm_u(word), word)
+    if op == enc.OPCODE_AUIPC:
+        return DecodedInstr("auipc", InstrFormat.U, f["rd"], 0, 0, enc.imm_u(word), word)
+    if op == enc.OPCODE_JAL:
+        return DecodedInstr("jal", InstrFormat.J, f["rd"], 0, 0, enc.imm_j(word), word)
+    if op == enc.OPCODE_JALR:
+        return DecodedInstr("jalr", InstrFormat.I, f["rd"], f["rs1"], 0, enc.imm_i(word), word)
+    if op == enc.OPCODE_BRANCH:
+        names = {0b000: "beq", 0b001: "bne", 0b100: "blt", 0b101: "bge", 0b110: "bltu", 0b111: "bgeu"}
+        if f["funct3"] not in names:
+            raise IllegalInstructionError(f"unknown branch funct3={f['funct3']:#05b}")
+        return DecodedInstr(names[f["funct3"]], InstrFormat.B, 0, f["rs1"], f["rs2"], enc.imm_b(word), word)
+    if op == enc.OPCODE_LOAD:
+        names = {0b000: "lb", 0b001: "lh", 0b010: "lw", 0b100: "lbu", 0b101: "lhu"}
+        if f["funct3"] not in names:
+            raise IllegalInstructionError(f"unknown load funct3={f['funct3']:#05b}")
+        return DecodedInstr(names[f["funct3"]], InstrFormat.I, f["rd"], f["rs1"], 0, enc.imm_i(word), word)
+    if op == enc.OPCODE_STORE:
+        names = {0b000: "sb", 0b001: "sh", 0b010: "sw"}
+        if f["funct3"] not in names:
+            raise IllegalInstructionError(f"unknown store funct3={f['funct3']:#05b}")
+        return DecodedInstr(names[f["funct3"]], InstrFormat.S, 0, f["rs1"], f["rs2"], enc.imm_s(word), word)
+    if op == enc.OPCODE_OP_IMM:
+        return _decode_op_imm(word, f)
+    if op == enc.OPCODE_OP:
+        return _decode_op(word, f)
+    if op == enc.OPCODE_MISC_MEM:
+        return DecodedInstr("fence", InstrFormat.I, f["rd"], f["rs1"], 0, enc.imm_i(word), word)
+    if op == enc.OPCODE_SYSTEM:
+        if f["funct3"] == 0:
+            return DecodedInstr("ebreak" if enc.imm_i(word) == 1 else "ecall", InstrFormat.I, 0, 0, 0, 0, word)
+        names = {0b001: "csrrw", 0b010: "csrrs", 0b011: "csrrc"}
+        if f["funct3"] in names:
+            return DecodedInstr(names[f["funct3"]], InstrFormat.I, f["rd"], f["rs1"], 0, (word >> 20) & 0xFFF, word)
+        raise IllegalInstructionError(f"unknown SYSTEM funct3={f['funct3']:#05b}")
+    if op == enc.OPCODE_CUSTOM0:
+        return _decode_custom0(word, f)
+    raise IllegalInstructionError(f"unknown opcode {op:#09b} in word {word:#010x}")

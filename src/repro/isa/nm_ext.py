@@ -1,0 +1,157 @@
+"""Software-side helpers for the neuromorphic ISA extension (paper Table I).
+
+The four custom instructions live on the ``custom-0`` opcode (``0001011``):
+
+===========  ======  ==========================================================
+Mnemonic     Type    Operands
+===========  ======  ==========================================================
+``nmldl``    R       ``rs1[31:16]=b`` (Q4.11), ``rs1[15:0]=a`` (Q4.11),
+                     ``rs2[31:16]=d`` (Q4.11), ``rs2[15:0]=c`` (Q7.8);
+                     ``rd`` receives 1 on completion.
+``nmldh``    R       ``rs1[1]=pin`` (cap ``v`` at the reset potential),
+                     ``rs1[0]=h`` (1 → 0.125 ms, 0 → 0.5 ms);
+                     ``rd`` receives 1 on completion.
+``nmpn``     "N"     ``rs1`` = VU word (v Q7.8 | u Q7.8), ``rs2`` = Isyn
+                     (Q15.16), ``rd`` read as the address of the VU word and
+                     written with the spike flag (1 = spike, 0 = no spike).
+``nmdec``    R       ``rs1`` = tau select (1..9), ``rs2`` = Isyn (Q15.16);
+                     ``rd`` receives the decayed Isyn (Q15.16).
+===========  ======  ==========================================================
+
+These helpers pack/unpack the register operand words so that software
+(code generators, tests and examples) and the NPU/DCU models agree on the
+bit layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..fixedpoint import Q4_11, Q7_8, Q15_16
+
+__all__ = [
+    "IzhikevichParams",
+    "pack_nmldl_operands",
+    "unpack_nmldl_operands",
+    "pack_nmldh_operand",
+    "unpack_nmldh_operand",
+    "pack_isyn",
+    "unpack_isyn",
+    "TIMESTEP_COARSE_MS",
+    "TIMESTEP_FINE_MS",
+    "TAU_SELECT_MIN",
+    "TAU_SELECT_MAX",
+]
+
+#: Timestep selected when the ``h`` bit of ``nmldh`` is 0 (paper Table I).
+TIMESTEP_COARSE_MS = 0.5
+#: Timestep selected when the ``h`` bit of ``nmldh`` is 1.
+TIMESTEP_FINE_MS = 0.125
+
+#: Valid range of the ``nmdec`` tau-select operand (paper §IV-B).
+TAU_SELECT_MIN = 1
+TAU_SELECT_MAX = 9
+
+_MASK16 = 0xFFFF
+_MASK32 = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class IzhikevichParams:
+    """Izhikevich neuron parameters ``(a, b, c, d)`` in real units.
+
+    ``a``, ``b``, ``d`` are quantised to Q4.11 and ``c`` to Q7.8 when packed
+    for the ``nmldl`` instruction, mirroring the hardware's configuration
+    registers.
+    """
+
+    a: float
+    b: float
+    c: float
+    d: float
+
+    def quantized(self) -> "IzhikevichParams":
+        """Return the parameters after a round trip through the Q-formats."""
+        return IzhikevichParams(
+            a=Q4_11.to_float(Q4_11.from_float(self.a)),
+            b=Q4_11.to_float(Q4_11.from_float(self.b)),
+            c=Q7_8.to_float(Q7_8.from_float(self.c)),
+            d=Q4_11.to_float(Q4_11.from_float(self.d)),
+        )
+
+    @staticmethod
+    def regular_spiking() -> "IzhikevichParams":
+        """Izhikevich's regular-spiking (excitatory) parameter set."""
+        return IzhikevichParams(a=0.02, b=0.2, c=-65.0, d=8.0)
+
+    @staticmethod
+    def fast_spiking() -> "IzhikevichParams":
+        """Izhikevich's fast-spiking (inhibitory) parameter set."""
+        return IzhikevichParams(a=0.1, b=0.2, c=-65.0, d=2.0)
+
+    @staticmethod
+    def intrinsically_bursting() -> "IzhikevichParams":
+        """Intrinsically-bursting parameter set (c=-55, d=4)."""
+        return IzhikevichParams(a=0.02, b=0.2, c=-55.0, d=4.0)
+
+    @staticmethod
+    def chattering() -> "IzhikevichParams":
+        """Chattering parameter set (c=-50, d=2)."""
+        return IzhikevichParams(a=0.02, b=0.2, c=-50.0, d=2.0)
+
+
+def pack_nmldl_operands(params: IzhikevichParams) -> Tuple[int, int]:
+    """Pack ``(a, b, c, d)`` into the ``(rs1, rs2)`` words of ``nmldl``.
+
+    Returns
+    -------
+    (rs1, rs2):
+        ``rs1 = b<<16 | a`` (both Q4.11), ``rs2 = d<<16 | c``
+        (d in Q4.11, c in Q7.8), as unsigned 32-bit words.
+    """
+    a_bits = Q4_11.to_unsigned(Q4_11.from_float(params.a))
+    b_bits = Q4_11.to_unsigned(Q4_11.from_float(params.b))
+    c_bits = Q7_8.to_unsigned(Q7_8.from_float(params.c))
+    d_bits = Q4_11.to_unsigned(Q4_11.from_float(params.d))
+    rs1 = ((b_bits << 16) | a_bits) & _MASK32
+    rs2 = ((d_bits << 16) | c_bits) & _MASK32
+    return rs1, rs2
+
+
+def unpack_nmldl_operands(rs1: int, rs2: int) -> IzhikevichParams:
+    """Unpack the ``nmldl`` operand words back into real-valued parameters."""
+    a = Q4_11.to_float(Q4_11.from_unsigned(rs1 & _MASK16))
+    b = Q4_11.to_float(Q4_11.from_unsigned((rs1 >> 16) & _MASK16))
+    c = Q7_8.to_float(Q7_8.from_unsigned(rs2 & _MASK16))
+    d = Q4_11.to_float(Q4_11.from_unsigned((rs2 >> 16) & _MASK16))
+    return IzhikevichParams(a=a, b=b, c=c, d=d)
+
+
+def pack_nmldh_operand(*, fine_timestep: bool, pin_voltage: bool) -> int:
+    """Pack the ``nmldh`` configuration word (``rs1``).
+
+    Parameters
+    ----------
+    fine_timestep:
+        ``True`` selects h = 0.125 ms, ``False`` selects h = 0.5 ms.
+    pin_voltage:
+        ``True`` caps the membrane potential at the reset potential
+        (disables the rebound behaviour, paper §V-B).
+    """
+    return (int(bool(pin_voltage)) << 1) | int(bool(fine_timestep))
+
+
+def unpack_nmldh_operand(rs1: int) -> Tuple[bool, bool]:
+    """Unpack ``nmldh``'s ``rs1`` into ``(fine_timestep, pin_voltage)``."""
+    return bool(rs1 & 0x1), bool((rs1 >> 1) & 0x1)
+
+
+def pack_isyn(isyn: float) -> int:
+    """Quantise a synaptic current to Q15.16 and return the unsigned word."""
+    return Q15_16.to_unsigned(Q15_16.from_float(isyn))
+
+
+def unpack_isyn(word: int) -> float:
+    """Interpret an unsigned 32-bit word as a Q15.16 synaptic current."""
+    return Q15_16.to_float(Q15_16.from_unsigned(word & _MASK32))

@@ -1,0 +1,53 @@
+"""RISC-V integer register file naming (RV32I ABI).
+
+Both raw names (``x0``..``x31``) and ABI names (``zero``, ``ra``, ``sp``,
+``a0``..``a7``, ``t0``..``t6``, ``s0``..``s11``) are accepted by the
+assembler; the disassembler prints ABI names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["ABI_NAMES", "NAME_TO_INDEX", "register_index", "register_name", "NUM_REGISTERS"]
+
+#: Number of integer registers in RV32I.
+NUM_REGISTERS = 32
+
+#: ABI names indexed by register number.
+ABI_NAMES: List[str] = [
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+]
+
+#: Mapping from every accepted register spelling to its index.
+NAME_TO_INDEX: Dict[str, int] = {}
+for _i, _abi in enumerate(ABI_NAMES):
+    NAME_TO_INDEX[_abi] = _i
+    NAME_TO_INDEX[f"x{_i}"] = _i
+NAME_TO_INDEX["fp"] = 8  # frame pointer alias for s0
+
+
+def register_index(name: str) -> int:
+    """Resolve a register name (ABI or ``xN``) to its index.
+
+    Raises
+    ------
+    ValueError
+        If the name is not a valid RV32I register.
+    """
+    key = name.strip().lower()
+    if key not in NAME_TO_INDEX:
+        raise ValueError(f"unknown register name: {name!r}")
+    return NAME_TO_INDEX[key]
+
+
+def register_name(index: int) -> str:
+    """Return the canonical ABI name of register ``index``."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return ABI_NAMES[index]

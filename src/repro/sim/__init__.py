@@ -1,0 +1,66 @@
+"""Functional and cycle-level simulators of the IzhiRISC-V processor.
+
+* :class:`~repro.sim.npu.NPU` / :class:`~repro.sim.dcu.DCU` — bit-accurate
+  models of the neuromorphic functional units.
+* :class:`~repro.sim.functional.FunctionalSimulator` — instruction-accurate
+  RV32IM + extension executor.
+* :class:`~repro.sim.pipeline.CycleAccurateCore` — 3-stage DTEK-V pipeline
+  timing model with caches and hazard/flush accounting.
+* :class:`~repro.sim.multicore.MultiCoreSystem` — shared-bus multi-core
+  system used for the dual-core (and larger) experiments.
+"""
+
+from .bus import BusStats, SharedBus
+from .cache import Cache, CacheConfig, CacheStats, default_dcache_config, default_icache_config
+from .dcu import DCU, SHIFT_SELECTIONS, approx_divide, approximation_error, approximation_error_table
+from .functional import (
+    ExecRecord,
+    FunctionalSimulator,
+    MMIO_HALT,
+    MMIO_PRINT_INT,
+    MMIO_PUTCHAR,
+    SimulationError,
+)
+from .memory import DEFAULT_MEMORY_MAP, Memory, MemoryError32, MemoryMap, Region
+from .multicore import MultiCoreSystem, SystemResult
+from .npu import NMConfig, NPU, SPIKE_THRESHOLD_MV, izhikevich_update_raw
+from .perfcounters import N_IZH_OPS, PerfCounters
+from .pipeline import HAZARD_EX_PRODUCER, HAZARD_LOAD_USE, CoreConfig, CycleAccurateCore
+
+__all__ = [
+    "BusStats",
+    "SharedBus",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "default_dcache_config",
+    "default_icache_config",
+    "DCU",
+    "SHIFT_SELECTIONS",
+    "approx_divide",
+    "approximation_error",
+    "approximation_error_table",
+    "ExecRecord",
+    "FunctionalSimulator",
+    "SimulationError",
+    "MMIO_HALT",
+    "MMIO_PRINT_INT",
+    "MMIO_PUTCHAR",
+    "DEFAULT_MEMORY_MAP",
+    "Memory",
+    "MemoryError32",
+    "MemoryMap",
+    "Region",
+    "MultiCoreSystem",
+    "SystemResult",
+    "NMConfig",
+    "NPU",
+    "SPIKE_THRESHOLD_MV",
+    "izhikevich_update_raw",
+    "N_IZH_OPS",
+    "PerfCounters",
+    "CoreConfig",
+    "CycleAccurateCore",
+    "HAZARD_LOAD_USE",
+    "HAZARD_EX_PRODUCER",
+]

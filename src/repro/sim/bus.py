@@ -1,0 +1,74 @@
+"""Shared-bus model for multi-core IzhiRISC-V systems.
+
+The MAX10 dual-core system connects the cores to the off-chip SDRAM over a
+common Avalon bus (paper §VI-A).  The model is a single-master-at-a-time
+arbiter: a request occupies the bus for its duration and later requests
+wait until the bus is free again.  Round-robin fairness is approximated by
+first-come-first-served ordering, which is adequate for the two- to
+four-core systems evaluated here; the paper itself notes that larger
+systems would need a NoC instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["BusStats", "SharedBus"]
+
+
+@dataclass
+class BusStats:
+    """Aggregate counters for one bus instance."""
+
+    requests: int = 0
+    busy_cycles: int = 0
+    wait_cycles: int = 0
+    per_master_requests: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def average_wait(self) -> float:
+        """Mean arbitration wait per request in cycles."""
+        return self.wait_cycles / self.requests if self.requests else 0.0
+
+    def utilization(self, total_cycles: int) -> float:
+        """Bus occupancy as a fraction of ``total_cycles``."""
+        return self.busy_cycles / total_cycles if total_cycles else 0.0
+
+
+class SharedBus:
+    """A simple first-come-first-served shared bus.
+
+    Parameters
+    ----------
+    transfer_cycles:
+        Fixed per-transaction overhead added on top of the device latency
+        (address phase + arbitration).
+    """
+
+    def __init__(self, *, transfer_cycles: int = 2) -> None:
+        self.transfer_cycles = transfer_cycles
+        self.stats = BusStats()
+        self._next_free_cycle = 0
+
+    def request(self, master_id: int, cycle: int, duration: int) -> int:
+        """Issue a transaction at ``cycle`` lasting ``duration`` cycles.
+
+        Returns the number of *additional* cycles the master must wait
+        before its transaction completes, i.e. arbitration wait plus the
+        bus transfer overhead (the device latency itself is part of
+        ``duration`` and is charged by the caller).
+        """
+        total_duration = duration + self.transfer_cycles
+        wait = max(0, self._next_free_cycle - cycle)
+        self._next_free_cycle = cycle + wait + total_duration
+        self.stats.requests += 1
+        self.stats.busy_cycles += total_duration
+        self.stats.wait_cycles += wait
+        self.stats.per_master_requests[master_id] = self.stats.per_master_requests.get(master_id, 0) + 1
+        return wait + self.transfer_cycles
+
+    def reset(self) -> None:
+        """Clear arbitration state and statistics."""
+        self.stats = BusStats()
+        self._next_free_cycle = 0

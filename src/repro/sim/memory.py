@@ -1,0 +1,222 @@
+"""Byte-addressable sparse memory model for the IzhiRISC-V system.
+
+The FPGA system keeps the network state in on-chip memory and fetches
+instructions from off-chip SDRAM (paper §VI).  The :class:`Memory` class
+stores data sparsely in 4 KiB pages so that programs may use widely
+separated address regions (instruction image, neuron state, stack, MMIO)
+without allocating the whole 32-bit space; the :class:`MemoryMap` helper
+names those regions and carries the latency attributes used by the cache
+and bus timing models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["MemoryError32", "Region", "MemoryMap", "Memory", "DEFAULT_MEMORY_MAP"]
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+_PAGE_MASK = _PAGE_SIZE - 1
+_MASK32 = 0xFFFFFFFF
+
+
+class MemoryError32(Exception):
+    """Raised on misaligned or out-of-map memory accesses."""
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named address region with timing attributes.
+
+    Attributes
+    ----------
+    name:
+        Human-readable region name (``"sdram"``, ``"onchip"``, ...).
+    base, size:
+        Byte range ``[base, base + size)``.
+    access_cycles:
+        Raw access latency in core cycles seen on a cache miss / uncached
+        access (1 for on-chip SRAM, tens of cycles for SDRAM).
+    cacheable:
+        Whether accesses to the region go through the caches.
+    """
+
+    name: str
+    base: int
+    size: int
+    access_cycles: int = 1
+    cacheable: bool = True
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass
+class MemoryMap:
+    """An ordered collection of non-overlapping :class:`Region` objects."""
+
+    regions: List[Region] = field(default_factory=list)
+
+    def add(self, region: Region) -> None:
+        for existing in self.regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise MemoryError32(
+                    f"region {region.name!r} overlaps {existing.name!r}"
+                )
+        self.regions.append(region)
+        self.regions.sort(key=lambda r: r.base)
+
+    def find(self, address: int) -> Optional[Region]:
+        """Return the region containing ``address`` or ``None``."""
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def region(self, name: str) -> Region:
+        for r in self.regions:
+            if r.name == name:
+                return r
+        raise KeyError(f"no region named {name!r}")
+
+
+def DEFAULT_MEMORY_MAP() -> MemoryMap:
+    """Memory map mirroring the paper's FPGA system.
+
+    * ``sdram``  — off-chip SDRAM holding the instruction image (slow).
+    * ``onchip`` — on-chip memory holding the network state (fast).
+    * ``stack``  — top of on-chip memory used for the call stack.
+    * ``mmio``   — a small control/status region (cycle counter, halt).
+    """
+    mm = MemoryMap()
+    mm.add(Region("sdram", base=0x0000_0000, size=8 << 20, access_cycles=12, cacheable=True))
+    mm.add(Region("onchip", base=0x1000_0000, size=4 << 20, access_cycles=1, cacheable=True))
+    mm.add(Region("stack", base=0x2000_0000, size=1 << 20, access_cycles=1, cacheable=True))
+    mm.add(Region("mmio", base=0xF000_0000, size=1 << 12, access_cycles=1, cacheable=False))
+    return mm
+
+
+class Memory:
+    """Sparse little-endian byte-addressable memory."""
+
+    def __init__(self, memory_map: Optional[MemoryMap] = None, *, strict: bool = False) -> None:
+        """Create an empty memory.
+
+        Parameters
+        ----------
+        memory_map:
+            Optional map used to answer :meth:`region_of`.  When ``strict``
+            is true, accesses outside any region raise
+            :class:`MemoryError32`.
+        strict:
+            Enforce that all accesses fall inside a mapped region.
+        """
+        self.memory_map = memory_map
+        self.strict = strict
+        self._pages: Dict[int, bytearray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Page management
+    # ------------------------------------------------------------------ #
+    def _page(self, address: int) -> Tuple[bytearray, int]:
+        page_index = address >> _PAGE_BITS
+        page = self._pages.get(page_index)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[page_index] = page
+        return page, address & _PAGE_MASK
+
+    def _check(self, address: int, size: int) -> None:
+        if address < 0 or address + size > (1 << 32):
+            raise MemoryError32(f"address {address:#x} outside 32-bit space")
+        if self.strict and self.memory_map is not None:
+            if self.memory_map.find(address) is None:
+                raise MemoryError32(f"access to unmapped address {address:#x}")
+
+    def region_of(self, address: int) -> Optional[Region]:
+        """Return the region containing ``address`` (if a map is attached)."""
+        if self.memory_map is None:
+            return None
+        return self.memory_map.find(address)
+
+    # ------------------------------------------------------------------ #
+    # Byte / halfword / word accessors (little endian)
+    # ------------------------------------------------------------------ #
+    def load_byte(self, address: int) -> int:
+        self._check(address, 1)
+        page, offset = self._page(address)
+        return page[offset]
+
+    def store_byte(self, address: int, value: int) -> None:
+        self._check(address, 1)
+        page, offset = self._page(address)
+        page[offset] = value & 0xFF
+
+    def load_half(self, address: int) -> int:
+        if address % 2 != 0:
+            raise MemoryError32(f"misaligned halfword load at {address:#x}")
+        return self.load_byte(address) | (self.load_byte(address + 1) << 8)
+
+    def store_half(self, address: int, value: int) -> None:
+        if address % 2 != 0:
+            raise MemoryError32(f"misaligned halfword store at {address:#x}")
+        self.store_byte(address, value)
+        self.store_byte(address + 1, value >> 8)
+
+    def load_word(self, address: int) -> int:
+        if address % 4 != 0:
+            raise MemoryError32(f"misaligned word load at {address:#x}")
+        self._check(address, 4)
+        page, offset = self._page(address)
+        if offset <= _PAGE_SIZE - 4:
+            return int.from_bytes(page[offset : offset + 4], "little")
+        return (
+            self.load_byte(address)
+            | self.load_byte(address + 1) << 8
+            | self.load_byte(address + 2) << 16
+            | self.load_byte(address + 3) << 24
+        )
+
+    def store_word(self, address: int, value: int) -> None:
+        if address % 4 != 0:
+            raise MemoryError32(f"misaligned word store at {address:#x}")
+        self._check(address, 4)
+        value &= _MASK32
+        page, offset = self._page(address)
+        if offset <= _PAGE_SIZE - 4:
+            page[offset : offset + 4] = value.to_bytes(4, "little")
+            return
+        for i in range(4):
+            self.store_byte(address + i, (value >> (8 * i)) & 0xFF)
+
+    # ------------------------------------------------------------------ #
+    # Bulk helpers
+    # ------------------------------------------------------------------ #
+    def load_program(self, words: Iterable[int], *, base: int) -> None:
+        """Copy a sequence of 32-bit words into memory starting at ``base``."""
+        for i, word in enumerate(words):
+            self.store_word(base + 4 * i, word)
+
+    def load_bytes(self, data: bytes, *, base: int) -> None:
+        """Copy raw bytes into memory starting at ``base``."""
+        for i, b in enumerate(data):
+            self.store_byte(base + i, b)
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address``."""
+        return bytes(self.load_byte(address + i) for i in range(length))
+
+    def read_words(self, address: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words starting at ``address``."""
+        return [self.load_word(address + 4 * i) for i in range(count)]
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Number of bytes of backing store currently allocated."""
+        return len(self._pages) * _PAGE_SIZE

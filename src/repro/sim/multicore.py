@@ -1,0 +1,137 @@
+"""Multi-core IzhiRISC-V system model (shared-bus, lockstep simulation).
+
+The paper's dual-core MAX10 system attaches both cores to a common Avalon
+bus and statically partitions the neuron population between them
+(paper §VI-A/B).  :class:`MultiCoreSystem` advances all cores in lockstep
+so that cache-miss traffic contends on the shared :class:`SharedBus`, and
+reports per-core and system-level performance counters.  The same class is
+used for the single-core baseline (one core, no contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .bus import BusStats, SharedBus
+from .functional import FunctionalSimulator
+from .perfcounters import PerfCounters
+from .pipeline import CoreConfig, CycleAccurateCore
+
+__all__ = ["SystemResult", "MultiCoreSystem"]
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one multi-core run."""
+
+    #: Per-core performance counters, in core order.
+    per_core: List[PerfCounters]
+    #: Cycles until the *last* core finished (system completion time).
+    system_cycles: int
+    #: Aggregate of all per-core counters.
+    combined: PerfCounters
+    #: Shared-bus statistics (empty/zero for a single private-port core).
+    bus: BusStats
+    clock_hz: float
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.per_core)
+
+    @property
+    def execution_time_s(self) -> float:
+        """System execution time in seconds."""
+        return self.system_cycles / self.clock_hz
+
+    def speedup_over(self, baseline: "SystemResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same clock)."""
+        return baseline.system_cycles / self.system_cycles if self.system_cycles else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """System-level summary dictionary (used by the benchmark harness)."""
+        return {
+            "num_cores": self.num_cores,
+            "system_cycles": self.system_cycles,
+            "execution_time_s": self.execution_time_s,
+            "ipc_mean": sum(c.ipc for c in self.per_core) / self.num_cores,
+            "ipc_eff_mean": sum(c.ipc_eff for c in self.per_core) / self.num_cores,
+            "hazard_stall_percent_mean": sum(c.hazard_stall_percent for c in self.per_core) / self.num_cores,
+            "total_cache_misses": self.combined.total_cache_misses,
+            "bus_utilization": self.bus.utilization(self.system_cycles),
+        }
+
+
+class MultiCoreSystem:
+    """A system of ``N`` IzhiRISC-V cores sharing one bus.
+
+    Parameters
+    ----------
+    simulators:
+        One pre-loaded :class:`FunctionalSimulator` per core (each holds
+        its own program partition and memory image).
+    core_config:
+        Microarchitectural parameters applied to every core.
+    shared_bus:
+        Whether cache-miss traffic contends on a shared bus (the MAX10
+        system) or each core has a private memory port.
+    """
+
+    def __init__(
+        self,
+        simulators: Sequence[FunctionalSimulator],
+        *,
+        core_config: Optional[CoreConfig] = None,
+        shared_bus: bool = True,
+    ) -> None:
+        if not simulators:
+            raise ValueError("at least one core is required")
+        self.core_config = core_config if core_config is not None else CoreConfig()
+        self.bus = SharedBus() if shared_bus and len(simulators) > 1 else None
+        self.cores: List[CycleAccurateCore] = [
+            CycleAccurateCore(fsim, self.core_config, bus=self.bus, core_id=i)
+            for i, fsim in enumerate(simulators)
+        ]
+
+    @classmethod
+    def from_builder(
+        cls,
+        num_cores: int,
+        builder: Callable[[int, int], FunctionalSimulator],
+        *,
+        core_config: Optional[CoreConfig] = None,
+        shared_bus: bool = True,
+    ) -> "MultiCoreSystem":
+        """Build a system by calling ``builder(core_id, num_cores)`` per core."""
+        sims = [builder(i, num_cores) for i in range(num_cores)]
+        return cls(sims, core_config=core_config, shared_bus=shared_bus)
+
+    # ------------------------------------------------------------------ #
+    def run(self, *, max_cycles: int = 100_000_000) -> SystemResult:
+        """Run all cores in lockstep until every program has halted."""
+        cycle = 0
+        active = list(self.cores)
+        while active:
+            if cycle >= max_cycles:
+                raise RuntimeError(f"system cycle budget of {max_cycles} exhausted")
+            cycle += 1
+            still_active = []
+            for core in active:
+                core.step_cycle()
+                if not core.halted:
+                    still_active.append(core)
+            active = still_active
+
+        per_core = [core.snapshot_counters() for core in self.cores]
+        combined = per_core[0]
+        for counters in per_core[1:]:
+            combined = combined.merge(counters)
+        system_cycles = max(c.cycles for c in per_core)
+        bus_stats = self.bus.stats if self.bus is not None else BusStats()
+        return SystemResult(
+            per_core=per_core,
+            system_cycles=system_cycles,
+            combined=combined,
+            bus=bus_stats,
+            clock_hz=self.core_config.clock_hz,
+        )

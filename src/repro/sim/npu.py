@@ -1,0 +1,305 @@
+r"""Bit-accurate model of the Neuron Processing Unit (NPU).
+
+The NPU is the ALU extension that executes the ``nmpn`` instruction: a
+single-cycle forward-Euler update of the two Izhikevich state variables
+held in the packed VU word (paper §IV-B and §V-B).  The computation uses
+signed fixed-point arithmetic with a wide internal accumulator and narrows
+the results back to Q7.8:
+
+.. math::
+
+    v_{n+1} &= (0.04 v_n^2 + 5 v_n + 140 - u_n + I_{syn})\,h + v_n \\
+    u_{n+1} &= a (b v_n - u_n)\,h + u_n
+
+followed by the spike/reset rule ``v > V_th  ⇒  v ← c,  u ← u + d`` and,
+when the *pin* bit is set, a lower cap of ``v`` at the reset potential
+``c`` (the paper adds this to stabilise the Sudoku WTA network).
+
+The model operates on raw integer payloads so that it is exactly
+reproducible and can be driven either one neuron at a time (as the
+instruction-set simulator does) or as vectorised NumPy arrays (as the
+fixed-point network engine does).  Both paths share the same arithmetic.
+
+Note: equation (3) in the paper contains a typo (``+ v_n`` in the ``u``
+update); the recurrence implemented here uses the correct ``+ u_n`` term,
+without which the model does not spike correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..fixedpoint import Q4_11, Q7_8, Q15_16
+from ..fixedpoint.vuword import pack_vu, unpack_vu
+from ..isa.nm_ext import (
+    IzhikevichParams,
+    TIMESTEP_COARSE_MS,
+    TIMESTEP_FINE_MS,
+    unpack_nmldh_operand,
+    unpack_nmldl_operands,
+)
+
+__all__ = ["NMConfig", "NPU", "SPIKE_THRESHOLD_MV", "izhikevich_update_raw"]
+
+ArrayLike = Union[int, np.ndarray]
+
+#: Izhikevich spike threshold in millivolts (Izhikevich 2003).
+SPIKE_THRESHOLD_MV = 30.0
+
+#: Internal accumulator fractional bits (wide enough to hold Q15.16 terms).
+_ACC_FRAC = 16
+#: Shift applied to v*v (Q7.8 * Q7.8 -> 16 fractional bits already).
+_VTH_RAW = int(SPIKE_THRESHOLD_MV * (1 << 8))  # Q7.8
+
+# Constant coefficients of the quadratic nullcline, held in the same
+# formats the configuration registers use: 0.04 in Q4.11, 5 and 140 exact.
+_COEFF_004_Q4_11 = Q4_11.from_float(0.04)
+_CONST_5 = 5
+_CONST_140_ACC = 140 << _ACC_FRAC
+
+
+@dataclass
+class NMConfig:
+    """The NM configuration registers (``NM REGS`` in paper Fig. 1).
+
+    Loaded by the ``nmldl`` (parameters) and ``nmldh`` (timestep / pin)
+    instructions before the NPU or DCU may operate.
+    """
+
+    #: Raw Q4.11 payloads of the Izhikevich parameters a, b, d.
+    a_raw: int = 0
+    b_raw: int = 0
+    d_raw: int = 0
+    #: Raw Q7.8 payload of the reset parameter c.
+    c_raw: int = 0
+    #: ``True`` selects the 0.125 ms timestep, ``False`` the 0.5 ms one.
+    fine_timestep: bool = False
+    #: ``True`` caps the membrane voltage at the reset potential.
+    pin_voltage: bool = False
+    #: Set once ``nmldl`` has executed (used for sanity checking).
+    params_loaded: bool = field(default=False)
+    #: Set once ``nmldh`` has executed.
+    timestep_loaded: bool = field(default=False)
+
+    # ------------------------------------------------------------------ #
+    # Loading (instruction semantics)
+    # ------------------------------------------------------------------ #
+    def load_params_words(self, rs1: int, rs2: int) -> None:
+        """Execute ``nmldl``: unpack a/b (rs1) and d/c (rs2) register words."""
+        self.a_raw = Q4_11.from_unsigned(rs1 & 0xFFFF)
+        self.b_raw = Q4_11.from_unsigned((rs1 >> 16) & 0xFFFF)
+        self.c_raw = Q7_8.from_unsigned(rs2 & 0xFFFF)
+        self.d_raw = Q4_11.from_unsigned((rs2 >> 16) & 0xFFFF)
+        self.params_loaded = True
+
+    def load_params(self, params: IzhikevichParams) -> None:
+        """Convenience: load real-valued parameters (quantising them)."""
+        self.a_raw = Q4_11.from_float(params.a)
+        self.b_raw = Q4_11.from_float(params.b)
+        self.c_raw = Q7_8.from_float(params.c)
+        self.d_raw = Q4_11.from_float(params.d)
+        self.params_loaded = True
+
+    def load_timestep_word(self, rs1: int) -> None:
+        """Execute ``nmldh``: unpack the h and pin bits."""
+        self.fine_timestep, self.pin_voltage = unpack_nmldh_operand(rs1)
+        self.timestep_loaded = True
+
+    def load_timestep(self, *, fine_timestep: bool = False, pin_voltage: bool = False) -> None:
+        """Convenience: set the timestep selection and pin flag directly."""
+        self.fine_timestep = fine_timestep
+        self.pin_voltage = pin_voltage
+        self.timestep_loaded = True
+
+    # ------------------------------------------------------------------ #
+    # Derived values
+    # ------------------------------------------------------------------ #
+    @property
+    def timestep_ms(self) -> float:
+        """Selected integration timestep in milliseconds."""
+        return TIMESTEP_FINE_MS if self.fine_timestep else TIMESTEP_COARSE_MS
+
+    @property
+    def h_shift(self) -> int:
+        """Right-shift equivalent of multiplying by the timestep.
+
+        The hardware replaces the multiplication by ``h`` with a bit shift
+        (paper §V-B): 0.5 ms → ``>> 1``, 0.125 ms → ``>> 3``.
+        """
+        return 3 if self.fine_timestep else 1
+
+    @property
+    def params(self) -> IzhikevichParams:
+        """Real-valued view of the loaded parameters."""
+        return IzhikevichParams(
+            a=Q4_11.to_float(self.a_raw),
+            b=Q4_11.to_float(self.b_raw),
+            c=Q7_8.to_float(self.c_raw),
+            d=Q4_11.to_float(self.d_raw),
+        )
+
+    @staticmethod
+    def from_words(rs1_ldl: int, rs2_ldl: int, rs1_ldh: int) -> "NMConfig":
+        """Build a config as the two configuration instructions would."""
+        cfg = NMConfig()
+        cfg.load_params_words(rs1_ldl, rs2_ldl)
+        cfg.load_timestep_word(rs1_ldh)
+        return cfg
+
+
+def izhikevich_update_raw(
+    v_raw: ArrayLike,
+    u_raw: ArrayLike,
+    isyn_raw: ArrayLike,
+    *,
+    a_raw: ArrayLike,
+    b_raw: ArrayLike,
+    c_raw: ArrayLike,
+    d_raw: ArrayLike,
+    h_shift: int,
+    pin_voltage: bool = False,
+) -> Tuple[ArrayLike, ArrayLike, ArrayLike]:
+    """The NPU datapath with explicit (possibly per-neuron) parameters.
+
+    This is the single shared implementation of the fixed-point Izhikevich
+    Euler step: the scalar :class:`NPU` (one neuron at a time, parameters
+    from the NM configuration registers) and the vectorised fixed-point
+    network engine (per-neuron parameter arrays) both call it, so the two
+    paths are bit-identical by construction.
+
+    All inputs are raw integer payloads (v/u/c in Q7.8, a/b/d in Q4.11,
+    Isyn in Q15.16); scalars and NumPy arrays may be mixed freely.
+
+    Returns ``(v_new_raw, u_new_raw, spike)`` with spike ∈ {0, 1}.
+    """
+    scalar = all(np.ndim(x) == 0 for x in (v_raw, u_raw, isyn_raw, a_raw, b_raw, c_raw, d_raw))
+    v = np.asarray(v_raw, dtype=np.int64)
+    u = np.asarray(u_raw, dtype=np.int64)
+    isyn = np.asarray(isyn_raw, dtype=np.int64)
+    a = np.asarray(a_raw, dtype=np.int64)
+    b = np.asarray(b_raw, dtype=np.int64)
+    c = np.asarray(c_raw, dtype=np.int64)
+    d = np.asarray(d_raw, dtype=np.int64)
+
+    # Promote the state to the wide accumulator (16 fractional bits).
+    v_acc = v << (_ACC_FRAC - Q7_8.frac_bits)
+    u_acc = u << (_ACC_FRAC - Q7_8.frac_bits)
+
+    # 0.04 v^2 : v*v is exact with 16 fractional bits; the Q4.11
+    # coefficient contributes 11 more which are shifted away.
+    v_sq = v * v  # Q?.16
+    term_quadratic = (_COEFF_004_Q4_11 * v_sq) >> Q4_11.frac_bits
+
+    # 5 v (exact), the constant 140, -u and the synaptic current.
+    dv_acc = term_quadratic + _CONST_5 * v_acc + _CONST_140_ACC - u_acc + isyn
+    dv_acc = dv_acc >> h_shift
+
+    # a (b v - u): b*v has 19 fractional bits -> align to 16.
+    bv_acc = (b * v) >> (Q4_11.frac_bits + Q7_8.frac_bits - _ACC_FRAC)
+    du_acc = (a * (bv_acc - u_acc)) >> Q4_11.frac_bits
+    du_acc = du_acc >> h_shift
+
+    v_new = np.asarray(Q7_8.handle_overflow((v_acc + dv_acc) >> (_ACC_FRAC - Q7_8.frac_bits)), dtype=np.int64)
+    u_new = np.asarray(Q7_8.handle_overflow((u_acc + du_acc) >> (_ACC_FRAC - Q7_8.frac_bits)), dtype=np.int64)
+
+    # Spike detection and reset.
+    spike = (v_new >= _VTH_RAW).astype(np.int64)
+    d_q78 = d >> (Q4_11.frac_bits - Q7_8.frac_bits)
+    u_spiked = np.asarray(Q7_8.handle_overflow(u_new + d_q78), dtype=np.int64)
+    v_new = np.where(spike == 1, c, v_new)
+    u_new = np.where(spike == 1, u_spiked, u_new)
+
+    # Optional pinning of the membrane voltage at the reset potential.
+    if pin_voltage:
+        v_new = np.maximum(v_new, c)
+
+    if scalar:
+        return int(v_new), int(u_new), int(spike)
+    return v_new, u_new, spike
+
+
+class NPU:
+    """Single-cycle Izhikevich-update functional unit.
+
+    Parameters
+    ----------
+    config:
+        The shared NM configuration registers.  The same object is usually
+        shared with the :class:`~repro.sim.dcu.DCU`.
+    """
+
+    def __init__(self, config: NMConfig | None = None) -> None:
+        self.config = config if config is not None else NMConfig()
+
+    # ------------------------------------------------------------------ #
+    # Raw-payload arithmetic (shared scalar/vector path)
+    # ------------------------------------------------------------------ #
+    def update_raw(
+        self,
+        v_raw: ArrayLike,
+        u_raw: ArrayLike,
+        isyn_raw: ArrayLike,
+    ) -> Tuple[ArrayLike, ArrayLike, ArrayLike]:
+        """Advance ``(v, u)`` by one NPU timestep.
+
+        Parameters
+        ----------
+        v_raw, u_raw:
+            Raw Q7.8 payloads (scalars or int64 arrays).
+        isyn_raw:
+            Raw Q15.16 synaptic current payload(s).
+
+        Returns
+        -------
+        (v_new_raw, u_new_raw, spike):
+            Updated raw Q7.8 payloads and the spike flag(s) (0/1).
+        """
+        cfg = self.config
+        return izhikevich_update_raw(
+            v_raw,
+            u_raw,
+            isyn_raw,
+            a_raw=cfg.a_raw,
+            b_raw=cfg.b_raw,
+            c_raw=cfg.c_raw,
+            d_raw=cfg.d_raw,
+            h_shift=cfg.h_shift,
+            pin_voltage=cfg.pin_voltage,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Instruction-level interface (operates on machine words)
+    # ------------------------------------------------------------------ #
+    def execute_nmpn(self, vu_word: int, isyn_word: int) -> Tuple[int, int]:
+        """Execute ``nmpn`` on 32-bit register operands.
+
+        Parameters
+        ----------
+        vu_word:
+            The packed VU word read from ``rs1``.
+        isyn_word:
+            The Q15.16 synaptic current bit pattern read from ``rs2``.
+
+        Returns
+        -------
+        (new_vu_word, spike):
+            The updated VU word (to be stored at the address held in
+            ``rd``) and the spike flag written back to ``rd``.
+        """
+        v_raw, u_raw = unpack_vu(vu_word)
+        isyn_raw = Q15_16.from_unsigned(isyn_word & 0xFFFFFFFF)
+        v_new, u_new, spike = self.update_raw(v_raw, u_raw, isyn_raw)
+        return pack_vu(v_new, u_new), int(spike)
+
+    # ------------------------------------------------------------------ #
+    # Float convenience interface (examples, documentation, tests)
+    # ------------------------------------------------------------------ #
+    def update_float(self, v: float, u: float, isyn: float) -> Tuple[float, float, bool]:
+        """Advance real-valued state through the fixed-point datapath."""
+        v_new, u_new, spike = self.update_raw(
+            Q7_8.from_float(v), Q7_8.from_float(u), Q15_16.from_float(isyn)
+        )
+        return Q7_8.to_float(v_new), Q7_8.to_float(u_new), bool(spike)

@@ -1,0 +1,154 @@
+"""Performance counters and the derived metrics reported in Tables V / VI.
+
+The paper characterises each run by:
+
+* speedup over the single-core configuration,
+* execution time (cycles / clock frequency),
+* ``IPC`` — retired instructions per cycle (Eq. 8),
+* ``IPC_eff`` — *effective* IPC, where every neuron update is credited
+  with the ``N_IZHop = 19`` equivalent base-ISA operations it replaces
+  (Eq. 9), so values above 1 are possible,
+* hazard-stall percentage,
+* I-/D-cache hit rates and total cache misses,
+* memory intensity (share of retired instructions that access data
+  memory, in percent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .cache import CacheStats
+
+__all__ = ["N_IZH_OPS", "PerfCounters"]
+
+#: Equivalent number of base-ISA operations replaced by one neuron update
+#: (15 for the two Izhikevich ODEs + 4 for the synaptic decay, paper §II-C).
+N_IZH_OPS = 19
+
+
+@dataclass
+class PerfCounters:
+    """Cycle-level counters gathered by the timing models."""
+
+    cycles: int = 0
+    instructions: int = 0
+    #: Instructions that are *not* part of a neuron update (Eq. 9's N_reginstr).
+    regular_instructions: int = 0
+    #: Number of ``nmpn`` neuron updates retired.
+    neuron_updates: int = 0
+    #: Number of ``nmdec`` decay operations retired.
+    decay_operations: int = 0
+    #: Cycles lost to data-hazard stalls inserted by the hazard unit.
+    hazard_stall_cycles: int = 0
+    #: Cycles lost to control-flow flushes (taken branches / jumps).
+    branch_flush_cycles: int = 0
+    #: Cycles lost waiting for the instruction cache.
+    icache_stall_cycles: int = 0
+    #: Cycles lost waiting for the data cache.
+    dcache_stall_cycles: int = 0
+    #: Cycles lost to multi-cycle execute operations (div/rem).
+    multicycle_stall_cycles: int = 0
+    #: Cycles lost arbitrating for the shared bus (multi-core systems).
+    bus_stall_cycles: int = 0
+    #: Data-memory accesses (loads + stores + nmpn writebacks).
+    memory_accesses: int = 0
+    loads: int = 0
+    stores: int = 0
+    #: Spikes produced by nmpn instructions.
+    spikes: int = 0
+    icache: CacheStats = field(default_factory=CacheStats)
+    dcache: CacheStats = field(default_factory=CacheStats)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics (paper Eq. 8 / Eq. 9 and Table V/VI rows)
+    # ------------------------------------------------------------------ #
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle (paper Eq. 8)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def ipc_eff(self) -> float:
+        """Effective IPC crediting neuron updates with 19 equivalent ops (Eq. 9)."""
+        if self.cycles == 0:
+            return 0.0
+        effective = self.regular_instructions + self.neuron_updates * N_IZH_OPS
+        return effective / self.cycles
+
+    @property
+    def hazard_stall_percent(self) -> float:
+        """Hazard-stall cycles as a percentage of total cycles."""
+        return 100.0 * self.hazard_stall_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def stall_cycles(self) -> int:
+        """All cycles in which no instruction completed."""
+        return (
+            self.hazard_stall_cycles
+            + self.branch_flush_cycles
+            + self.icache_stall_cycles
+            + self.dcache_stall_cycles
+            + self.multicycle_stall_cycles
+            + self.bus_stall_cycles
+        )
+
+    @property
+    def total_cache_misses(self) -> int:
+        """All cache misses (I + D), the "All cache misses" row of Table V."""
+        return self.icache.misses + self.dcache.misses
+
+    @property
+    def memory_intensity(self) -> float:
+        """Data-memory accesses per 100 retired instructions."""
+        return 100.0 * self.memory_accesses / self.instructions if self.instructions else 0.0
+
+    def execution_time_s(self, clock_hz: float) -> float:
+        """Execution time in seconds at the given clock frequency."""
+        return self.cycles / clock_hz
+
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Element-wise sum of two counter sets (cache stats included)."""
+        merged = PerfCounters()
+        for name in (
+            "cycles",
+            "instructions",
+            "regular_instructions",
+            "neuron_updates",
+            "decay_operations",
+            "hazard_stall_cycles",
+            "branch_flush_cycles",
+            "icache_stall_cycles",
+            "dcache_stall_cycles",
+            "multicycle_stall_cycles",
+            "bus_stall_cycles",
+            "memory_accesses",
+            "loads",
+            "stores",
+            "spikes",
+        ):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.icache = self.icache.merge(other.icache)
+        merged.dcache = self.dcache.merge(other.dcache)
+        return merged
+
+    def as_dict(self, *, clock_hz: Optional[float] = None) -> Dict[str, float]:
+        """Flatten the counters and derived metrics into a plain dict."""
+        out: Dict[str, float] = {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "ipc_eff": self.ipc_eff,
+            "hazard_stall_percent": self.hazard_stall_percent,
+            "icache_hit_rate": self.icache.hit_rate,
+            "dcache_hit_rate": self.dcache.hit_rate,
+            "total_cache_misses": self.total_cache_misses,
+            "memory_intensity": self.memory_intensity,
+            "neuron_updates": self.neuron_updates,
+            "spikes": self.spikes,
+        }
+        if clock_hz is not None:
+            out["execution_time_s"] = self.execution_time_s(clock_hz)
+        return out

@@ -1,0 +1,285 @@
+"""Cycle-level model of the 3-stage IzhiRISC-V (DTEK-V) pipeline.
+
+The DTEK-V core merges Fetch with Decode and Memory with Writeback,
+yielding a 3-stage in-order pipeline (paper §V-A):
+
+    IF/D  →  EX (ALU | NPU | DCU)  →  MEM+WB
+
+with a forwarding unit feeding operands from EX and MEM+WB back to decode
+and a hazard unit that inserts bubbles when forwarding cannot resolve a
+dependency (load-use and ``nmpn`` spike-result dependencies).  Branches
+are resolved in EX, so every taken control transfer costs one flush cycle.
+
+The :class:`CycleAccurateCore` drives a
+:class:`~repro.sim.functional.FunctionalSimulator` one instruction at a
+time and layers timing on top: I-cache and D-cache models, hazard stalls,
+flush bubbles, multi-cycle divide, and (optionally) a shared bus for miss
+traffic.  It exposes a :meth:`step_cycle` method so that a multi-core
+system can advance several cores in lockstep against a common bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .bus import SharedBus
+from .cache import Cache, CacheConfig, default_dcache_config, default_icache_config
+from .functional import ExecRecord, FunctionalSimulator, MMIO_BASE
+from .perfcounters import PerfCounters
+
+__all__ = ["CoreConfig", "CycleAccurateCore", "HAZARD_LOAD_USE", "HAZARD_EX_PRODUCER"]
+
+#: Stall only when the EX-stage producer delivers its result in MEM
+#: (loads and ``nmpn``); ALU results are forwarded from EX.
+HAZARD_LOAD_USE = "load-use"
+#: Stall whenever the EX-stage instruction writes a register the decoding
+#: instruction reads (no EX→decode forwarding); this is the pessimistic
+#: interpretation of the paper's hazard description.
+HAZARD_EX_PRODUCER = "ex-producer"
+
+
+@dataclass
+class CoreConfig:
+    """Microarchitectural parameters of one IzhiRISC-V core."""
+
+    #: Core clock (the MAX10 system runs at 30 MHz, Agilex at 100 MHz).
+    clock_hz: float = 30e6
+    icache: CacheConfig = field(default_factory=default_icache_config)
+    dcache: CacheConfig = field(default_factory=default_dcache_config)
+    #: Latency of the iterative divider (RV32M div/rem).
+    div_cycles: int = 16
+    #: Latency of the multiplier (embedded DSP blocks → single cycle).
+    mul_cycles: int = 1
+    #: Latency of the NPU / DCU (single cycle by design).
+    npu_cycles: int = 1
+    #: Cycles lost on every taken branch / jump (branch resolved in EX).
+    branch_flush_cycles: int = 1
+    #: Hazard-unit policy (see module constants).
+    hazard_policy: str = HAZARD_LOAD_USE
+    #: Extra cycles for an uncached access (MMIO and non-cacheable regions).
+    uncached_access_cycles: int = 2
+
+
+class CycleAccurateCore:
+    """One IzhiRISC-V core with cycle-level timing.
+
+    Parameters
+    ----------
+    fsim:
+        The functional simulator holding the architectural state and the
+        program to execute.
+    config:
+        Microarchitectural parameters.
+    bus:
+        Optional shared bus used for cache-miss traffic (multi-core
+        systems); ``None`` models a single-core system with a private
+        memory port.
+    core_id:
+        Identifier used for bus arbitration and reporting.
+    """
+
+    def __init__(
+        self,
+        fsim: FunctionalSimulator,
+        config: Optional[CoreConfig] = None,
+        *,
+        bus: Optional[SharedBus] = None,
+        core_id: int = 0,
+    ) -> None:
+        self.fsim = fsim
+        self.config = config if config is not None else CoreConfig()
+        self.bus = bus
+        self.core_id = core_id
+        self.icache = Cache(self.config.icache, name=f"icache{core_id}")
+        self.dcache = Cache(self.config.dcache, name=f"dcache{core_id}")
+        self.counters = PerfCounters()
+        # Pipeline latches / busy counters.
+        self._fetch_busy = 0          # cycles until the current fetch completes
+        self._fetch_valid = False     # a fetched (not yet issued) instruction is waiting
+        self._ex_record: Optional[ExecRecord] = None
+        self._ex_busy = 0
+        self._mem_record: Optional[ExecRecord] = None
+        self._mem_busy = 0
+        self._flush_penalty = 0
+        self.cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def halted(self) -> bool:
+        """The core is done when the program halted and the pipeline drained."""
+        return self.fsim.halted and self._ex_record is None and self._mem_record is None
+
+    def _miss_duration(self, address: int, cache: Cache) -> int:
+        """Stall cycles for a miss at ``address`` (region aware, bus aware)."""
+        region = self.fsim.memory.region_of(address)
+        if region is not None and not region.cacheable:
+            duration = max(region.access_cycles, self.config.uncached_access_cycles)
+        elif region is not None and region.access_cycles <= 2:
+            # On-chip memories refill a line quickly.
+            duration = max(region.access_cycles, 2)
+        else:
+            duration = cache.config.miss_penalty
+        if self.bus is not None:
+            duration += self.bus.request(self.core_id, self.cycle, duration)
+        return duration
+
+    def _charge_dcache(self, record: ExecRecord) -> int:
+        """Return MEM-stage stall cycles for the record's memory access."""
+        address = record.mem_address
+        if address is None:
+            return 0
+        region = self.fsim.memory.region_of(address)
+        if address >= MMIO_BASE or (region is not None and not region.cacheable):
+            stall = self.config.uncached_access_cycles
+            if self.bus is not None:
+                stall += self.bus.request(self.core_id, self.cycle, stall)
+            return stall
+        hit = self.dcache.access(address, is_write=record.mem_is_write)
+        if hit:
+            return 0
+        return self._miss_duration(address, self.dcache)
+
+    def _hazard_blocks(self, producer_record: Optional[ExecRecord], next_pc: int) -> bool:
+        """Decide whether decode must stall because of the EX-stage producer.
+
+        ``producer_record`` is the instruction that occupied EX at the start
+        of the cycle — its result has not yet been produced, so a consumer
+        being decoded in the same cycle cannot pick it up from the
+        forwarding network.
+        """
+        if producer_record is None:
+            return False
+        producer = producer_record.instr
+        dest = producer.dest_register
+        if dest is None:
+            return False
+        try:
+            consumer = self.fsim.fetch_decode(next_pc)
+        except Exception:
+            return False
+        if dest not in consumer.source_registers:
+            return False
+        if self.config.hazard_policy == HAZARD_EX_PRODUCER:
+            return True
+        # Load-use policy: only producers whose value appears after MEM stall.
+        return producer.is_load or producer.name == "nmpn"
+
+    def _ex_duration(self, record: ExecRecord) -> int:
+        instr = record.instr
+        if instr.is_div:
+            return self.config.div_cycles
+        if instr.is_mul:
+            return self.config.mul_cycles
+        if instr.is_neuromorphic:
+            return self.config.npu_cycles
+        return 1
+
+    # ------------------------------------------------------------------ #
+    # Cycle-by-cycle simulation
+    # ------------------------------------------------------------------ #
+    def step_cycle(self) -> None:
+        """Advance the core by one clock cycle."""
+        cfg = self.config
+        self.cycle += 1
+        self.counters.cycles += 1
+        # The hazard unit compares against the instruction that occupies EX
+        # at the *start* of the cycle (its result is not yet available).
+        producer_at_cycle_start = self._ex_record
+
+        # ---------------- MEM + WB stage ---------------- #
+        if self._mem_record is not None:
+            if self._mem_busy > 0:
+                self._mem_busy -= 1
+                self.counters.dcache_stall_cycles += 1
+            if self._mem_busy == 0:
+                self._retire(self._mem_record)
+                self._mem_record = None
+
+        # ---------------- EX stage ---------------- #
+        if self._ex_record is not None:
+            if self._ex_busy > 0:
+                self._ex_busy -= 1
+                if self._ex_busy > 0:
+                    self.counters.multicycle_stall_cycles += 1
+            if self._ex_busy == 0 and self._mem_record is None:
+                self._mem_busy = self._charge_dcache(self._ex_record)
+                self._mem_record = self._ex_record
+                self._ex_record = None
+
+        # ---------------- IF / D stage ---------------- #
+        if self.fsim.halted:
+            return
+        if self._flush_penalty > 0:
+            self._flush_penalty -= 1
+            self.counters.branch_flush_cycles += 1
+            return
+        if self._fetch_busy > 0:
+            self._fetch_busy -= 1
+            self.counters.icache_stall_cycles += 1
+            if self._fetch_busy == 0:
+                self._fetch_valid = True
+            return
+        if not self._fetch_valid:
+            # Initiate the fetch of the next instruction.
+            hit = self.icache.access(self.fsim.pc)
+            if not hit:
+                miss_cycles = self._miss_duration(self.fsim.pc, self.icache)
+                self.counters.icache_stall_cycles += 1
+                if miss_cycles > 1:
+                    self._fetch_busy = miss_cycles - 1
+                    return
+            self._fetch_valid = True
+        # Issue into EX if the slot is free and no hazard blocks us.
+        if self._ex_record is not None:
+            return
+        if self._hazard_blocks(producer_at_cycle_start, self.fsim.pc):
+            self.counters.hazard_stall_cycles += 1
+            return
+        record = self.fsim.step()
+        self._ex_record = record
+        self._ex_busy = self._ex_duration(record)
+        self._fetch_valid = False
+        if record.control_transfer:
+            self._flush_penalty = cfg.branch_flush_cycles
+
+    def _retire(self, record: ExecRecord) -> None:
+        instr = record.instr
+        c = self.counters
+        c.instructions += 1
+        if instr.name == "nmpn":
+            c.neuron_updates += 1
+            c.spikes += record.spike or 0
+        elif instr.name == "nmdec":
+            c.decay_operations += 1
+        else:
+            c.regular_instructions += 1
+        if record.mem_address is not None:
+            c.memory_accesses += 1
+            if record.mem_is_write:
+                c.stores += 1
+            else:
+                c.loads += 1
+
+    # ------------------------------------------------------------------ #
+    # Whole-program execution
+    # ------------------------------------------------------------------ #
+    def run(self, *, max_cycles: int = 50_000_000) -> PerfCounters:
+        """Run until the program halts (or the cycle budget is exhausted)."""
+        while not self.halted:
+            if self.cycle >= max_cycles:
+                raise RuntimeError(f"cycle budget of {max_cycles} exhausted at pc={self.fsim.pc:#x}")
+            self.step_cycle()
+        self._finalize_counters()
+        return self.counters
+
+    def _finalize_counters(self) -> None:
+        self.counters.icache = self.icache.stats
+        self.counters.dcache = self.dcache.stats
+
+    def snapshot_counters(self) -> PerfCounters:
+        """Return the counters with cache statistics attached (non-destructive)."""
+        self._finalize_counters()
+        return self.counters

@@ -1,0 +1,205 @@
+"""Spike-train analysis: rasters, inter-spike intervals and rhythms.
+
+These utilities regenerate the paper's Figure 2 (raster plot of the 80-20
+network) and Figure 3 (inter-spike-interval histograms compared across the
+double-precision, fixed-point and IzhiRISC-V implementations), plus the
+alpha/gamma population-rhythm measures the paper refers to qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SpikeRaster",
+    "interspike_intervals",
+    "isi_histogram",
+    "population_rate",
+    "band_power",
+    "rhythm_summary",
+    "histogram_similarity",
+    "render_ascii_raster",
+]
+
+
+@dataclass
+class SpikeRaster:
+    """A recorded spike raster: (time step, neuron id) pairs.
+
+    Attributes
+    ----------
+    times:
+        Spike times in network steps (milliseconds for a 1 ms step).
+    neuron_ids:
+        Neuron index of each spike (same length as ``times``).
+    num_neurons, num_steps:
+        Dimensions of the recording.
+    """
+
+    times: np.ndarray
+    neuron_ids: np.ndarray
+    num_neurons: int
+    num_steps: int
+
+    @classmethod
+    def empty(cls, num_neurons: int, num_steps: int) -> "SpikeRaster":
+        return cls(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), num_neurons, num_steps)
+
+    @classmethod
+    def from_events(
+        cls, events: Sequence[Tuple[int, int]], *, num_neurons: int, num_steps: int
+    ) -> "SpikeRaster":
+        """Build from an iterable of ``(time, neuron_id)`` tuples."""
+        if events:
+            times, ids = zip(*events)
+        else:
+            times, ids = (), ()
+        return cls(
+            np.asarray(times, dtype=np.int64),
+            np.asarray(ids, dtype=np.int64),
+            num_neurons,
+            num_steps,
+        )
+
+    @classmethod
+    def from_bool_matrix(cls, fired: np.ndarray) -> "SpikeRaster":
+        """Build from a ``[steps, neurons]`` boolean firing matrix."""
+        fired = np.asarray(fired, dtype=bool)
+        times, ids = np.nonzero(fired)
+        return cls(times.astype(np.int64), ids.astype(np.int64), fired.shape[1], fired.shape[0])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_spikes(self) -> int:
+        return int(self.times.shape[0])
+
+    def mean_rate_hz(self, *, dt_ms: float = 1.0) -> float:
+        """Mean per-neuron firing rate in Hz."""
+        duration_s = self.num_steps * dt_ms / 1000.0
+        if duration_s == 0 or self.num_neurons == 0:
+            return 0.0
+        return self.num_spikes / (self.num_neurons * duration_s)
+
+    def spikes_of(self, neuron_id: int) -> np.ndarray:
+        """Sorted spike times of one neuron."""
+        return np.sort(self.times[self.neuron_ids == neuron_id])
+
+    def to_bool_matrix(self) -> np.ndarray:
+        """Return the ``[steps, neurons]`` boolean firing matrix."""
+        out = np.zeros((self.num_steps, self.num_neurons), dtype=bool)
+        out[self.times, self.neuron_ids] = True
+        return out
+
+    def restrict_neurons(self, neuron_slice: slice) -> "SpikeRaster":
+        """Raster restricted to a contiguous neuron range (ids re-based)."""
+        start, stop, _ = neuron_slice.indices(self.num_neurons)
+        mask = (self.neuron_ids >= start) & (self.neuron_ids < stop)
+        return SpikeRaster(
+            self.times[mask], self.neuron_ids[mask] - start, stop - start, self.num_steps
+        )
+
+
+def interspike_intervals(raster: SpikeRaster) -> np.ndarray:
+    """All inter-spike intervals (in steps) pooled over every neuron."""
+    intervals: List[np.ndarray] = []
+    order = np.lexsort((raster.times, raster.neuron_ids))
+    ids = raster.neuron_ids[order]
+    times = raster.times[order]
+    if ids.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    diffs = np.diff(times)
+    same_neuron = np.diff(ids) == 0
+    return diffs[same_neuron]
+
+
+def isi_histogram(
+    raster: SpikeRaster, *, bin_width: float = 5.0, max_interval: float = 200.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of inter-spike intervals (Fig. 3).
+
+    Returns ``(bin_edges, counts)`` where intervals beyond ``max_interval``
+    are clipped into the last bin.
+    """
+    intervals = interspike_intervals(raster).astype(np.float64)
+    edges = np.arange(0.0, max_interval + bin_width, bin_width)
+    clipped = np.clip(intervals, 0.0, max_interval - 1e-9)
+    counts, _ = np.histogram(clipped, bins=edges)
+    return edges, counts
+
+
+def population_rate(raster: SpikeRaster) -> np.ndarray:
+    """Number of spikes per timestep across the whole population."""
+    rate = np.zeros(raster.num_steps, dtype=np.float64)
+    np.add.at(rate, raster.times, 1.0)
+    return rate
+
+
+def band_power(signal: np.ndarray, *, dt_ms: float = 1.0, low_hz: float, high_hz: float) -> float:
+    """Power of ``signal`` within a frequency band (rectangular window FFT)."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.size < 4:
+        return 0.0
+    detrended = signal - signal.mean()
+    spectrum = np.abs(np.fft.rfft(detrended)) ** 2
+    freqs = np.fft.rfftfreq(signal.size, d=dt_ms / 1000.0)
+    mask = (freqs >= low_hz) & (freqs <= high_hz)
+    return float(spectrum[mask].sum())
+
+
+def rhythm_summary(raster: SpikeRaster, *, dt_ms: float = 1.0) -> Dict[str, float]:
+    """Alpha / gamma band power of the population rate (paper §VI-B).
+
+    The 80-20 network exhibits alpha (≈10 Hz) and gamma (≈40 Hz) rhythms;
+    the summary reports absolute band powers and their share of the total
+    spectrum so different arithmetic backends can be compared.
+    """
+    rate = population_rate(raster)
+    total = band_power(rate, dt_ms=dt_ms, low_hz=1.0, high_hz=min(200.0, 500.0 / dt_ms))
+    alpha = band_power(rate, dt_ms=dt_ms, low_hz=8.0, high_hz=12.0)
+    gamma = band_power(rate, dt_ms=dt_ms, low_hz=30.0, high_hz=80.0)
+    return {
+        "alpha_power": alpha,
+        "gamma_power": gamma,
+        "total_power": total,
+        "alpha_fraction": alpha / total if total else 0.0,
+        "gamma_fraction": gamma / total if total else 0.0,
+        "mean_rate_hz": raster.mean_rate_hz(dt_ms=dt_ms),
+    }
+
+
+def histogram_similarity(counts_a: np.ndarray, counts_b: np.ndarray) -> float:
+    """Cosine similarity between two histograms (1.0 = identical shape)."""
+    a = np.asarray(counts_a, dtype=np.float64)
+    b = np.asarray(counts_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("histograms must have the same binning")
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm == 0:
+        return 1.0 if not a.any() and not b.any() else 0.0
+    return float(np.dot(a, b) / norm)
+
+
+def render_ascii_raster(
+    raster: SpikeRaster,
+    *,
+    max_rows: int = 40,
+    max_cols: int = 100,
+    mark: str = "|",
+) -> str:
+    """Render a coarse ASCII raster plot (Fig. 2 without matplotlib).
+
+    Neurons are binned onto ``max_rows`` rows and timesteps onto
+    ``max_cols`` columns; a cell is marked if any spike falls into it.
+    """
+    rows = min(max_rows, raster.num_neurons) or 1
+    cols = min(max_cols, raster.num_steps) or 1
+    grid = np.zeros((rows, cols), dtype=bool)
+    if raster.num_spikes:
+        row_idx = (raster.neuron_ids * rows) // max(raster.num_neurons, 1)
+        col_idx = (raster.times * cols) // max(raster.num_steps, 1)
+        grid[np.clip(row_idx, 0, rows - 1), np.clip(col_idx, 0, cols - 1)] = True
+    lines = ["".join(mark if cell else "." for cell in row) for row in grid]
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Sudoku-as-SNN application of the IzhiRISC-V reproduction.
+
+Board utilities, puzzle generation (the substitute for the paper's
+"Top 100" list), the 729-neuron Winner-Takes-All network and the spiking
+solver, plus a classical backtracking solver used as reference.
+"""
+
+from .board import BacktrackingSolver, SudokuBoard
+from .puzzles import EXAMPLE_PUZZLE, GeneratedPuzzle, PuzzleGenerator, generate_puzzle_set
+from .solver import SNNSudokuSolver, SolveResult
+from .wta import (
+    NUM_NEURONS,
+    WTAConfig,
+    WTAStatistics,
+    build_wta_synapses,
+    conflicting_neurons,
+    connectivity_statistics,
+    neuron_coordinates,
+    neuron_index,
+)
+
+__all__ = [
+    "BacktrackingSolver",
+    "SudokuBoard",
+    "EXAMPLE_PUZZLE",
+    "GeneratedPuzzle",
+    "PuzzleGenerator",
+    "generate_puzzle_set",
+    "SNNSudokuSolver",
+    "SolveResult",
+    "NUM_NEURONS",
+    "WTAConfig",
+    "WTAStatistics",
+    "build_wta_synapses",
+    "conflicting_neurons",
+    "connectivity_statistics",
+    "neuron_coordinates",
+    "neuron_index",
+]

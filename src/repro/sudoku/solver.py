@@ -1,0 +1,225 @@
+"""SNN Sudoku solver driving the WTA network on the NPU fixed-point datapath.
+
+The solver runs the 729-neuron Winner-Takes-All network built by
+:mod:`repro.sudoku.wta` on the bit-exact fixed-point population (the same
+arithmetic as the ``nmpn``/``nmdec`` instructions, including the *pin*
+behaviour the paper added specifically for this use case) and decodes the
+board state from the spike activity: within each cell the digit whose
+neuron spiked most recently is the cell's current assignment.  The run
+stops as soon as the decoded board is a valid, clue-respecting solution.
+
+Free cells receive a weak noisy drive so the network performs a stochastic
+search over candidate assignments; conflicting assignments suppress each
+other through the inhibitory WTA connections until a consistent
+configuration — a solution — remains stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..snn.fixed_izhikevich import FixedPointPopulation
+from ..snn.izhikevich import IzhikevichPopulation
+from ..snn.network import SNNNetwork
+from .board import BacktrackingSolver, SudokuBoard
+from .wta import GRID, NUM_NEURONS, WTAConfig, build_wta_synapses, neuron_index
+
+__all__ = ["SolveResult", "SNNSudokuSolver"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one SNN solving run."""
+
+    solved: bool
+    steps: int
+    board: SudokuBoard
+    #: Total number of spikes emitted during the run.
+    total_spikes: int
+    #: Number of neuron updates performed (neurons x sub-steps x steps).
+    neuron_updates: int
+    #: True when the answer also matches the reference backtracking solution.
+    matches_reference: Optional[bool] = None
+
+
+class SNNSudokuSolver:
+    """Solve Sudoku puzzles with the 729-neuron WTA spiking network.
+
+    Parameters
+    ----------
+    config:
+        WTA weights and drive levels.
+    backend:
+        ``"fixed"`` (default) runs on the NPU fixed-point datapath with the
+        membrane pin enabled — the configuration the paper converged with;
+        ``"float64"`` runs the double-precision reference dynamics.
+    seed:
+        Seed of the exploration-noise stream.
+    """
+
+    def __init__(
+        self,
+        config: Optional[WTAConfig] = None,
+        *,
+        backend: str = "fixed",
+        seed: int = 7,
+    ) -> None:
+        if backend not in ("fixed", "float64"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.config = config if config is not None else WTAConfig()
+        self.backend = backend
+        self.seed = seed
+        self.synapses = build_wta_synapses(self.config)
+
+    # ------------------------------------------------------------------ #
+    # Network assembly
+    # ------------------------------------------------------------------ #
+    def _drive_vector(self, puzzle: SudokuBoard) -> np.ndarray:
+        """Constant per-neuron drive: strong for clue digits, bias otherwise."""
+        cfg = self.config
+        drive = np.full(NUM_NEURONS, cfg.free_bias, dtype=np.float64)
+        for row, col, digit in puzzle.clue_positions():
+            # The clue digit is driven hard; its cell-mates are silenced.
+            for d in range(1, GRID + 1):
+                drive[neuron_index(row, col, d)] = 0.0
+            drive[neuron_index(row, col, digit)] = cfg.clue_drive
+        return drive
+
+    def _build_network(self, puzzle: SudokuBoard) -> SNNNetwork:
+        cfg = self.config
+        a = np.full(NUM_NEURONS, cfg.a)
+        b = np.full(NUM_NEURONS, cfg.b)
+        c = np.full(NUM_NEURONS, cfg.c)
+        d = np.full(NUM_NEURONS, cfg.d)
+        if self.backend == "fixed":
+            population = FixedPointPopulation.from_float_parameters(
+                a, b, c, d, h_shift=1, pin_voltage=True
+            )
+        else:
+            population = IzhikevichPopulation.from_parameters(a, b, c, d)
+        rng = np.random.default_rng(self.seed)
+        drive = self._drive_vector(puzzle)
+        free_mask = (drive > 0.0) & (drive != cfg.clue_drive)
+
+        def external(step: int) -> np.ndarray:
+            # Annealed exploration noise: each cycle ramps the amplitude
+            # from noise_sigma down to anneal_floor * noise_sigma so the
+            # network alternates between exploring and settling.
+            phase = (step % cfg.anneal_period) / max(cfg.anneal_period, 1)
+            amplitude = cfg.noise_sigma * (1.0 - (1.0 - cfg.anneal_floor) * phase)
+            noise = amplitude * rng.standard_normal(NUM_NEURONS)
+            # Clue cells and silenced cell-mates get no exploration noise.
+            return drive + noise * free_mask
+
+        return SNNNetwork(
+            population=population,
+            synapses=self.synapses,
+            external_input=external,
+            current_mode="decay",
+            tau_select=cfg.tau_select,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def decode(
+        window_counts: np.ndarray,
+        last_spike_step: np.ndarray,
+        puzzle: SudokuBoard,
+    ) -> SudokuBoard:
+        """Decode the board from recent spike activity.
+
+        Within each cell the digit with the most spikes in the sliding
+        window wins; ties are broken by the most recent spike.  Cells whose
+        candidates have not spiked recently stay empty; clue cells are
+        always taken from the puzzle.
+        """
+        grid = np.zeros((GRID, GRID), dtype=np.int64)
+        counts = window_counts.reshape(GRID, GRID, GRID).astype(np.float64)
+        recency = last_spike_step.reshape(GRID, GRID, GRID).astype(np.float64)
+        # Combine: window count dominates, recency (scaled below 1) breaks ties.
+        score = counts + recency / (recency.max() + 1.0) if recency.max() > 0 else counts
+        decided = counts.max(axis=2) > 0
+        winners = score.argmax(axis=2) + 1
+        grid[decided] = winners[decided]
+        clue_mask = puzzle.cells > 0
+        grid[clue_mask] = puzzle.cells[clue_mask]
+        return SudokuBoard(grid)
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        puzzle: SudokuBoard,
+        *,
+        max_steps: int = 3000,
+        check_interval: int = 10,
+        verify_against_reference: bool = False,
+    ) -> SolveResult:
+        """Run the network until the decoded board is a valid solution.
+
+        Parameters
+        ----------
+        puzzle:
+            The clue board (0 = empty cell).
+        max_steps:
+            Upper bound on 1 ms network steps.
+        check_interval:
+            How often (in steps) the decoded board is tested for validity.
+        verify_against_reference:
+            Also compare the SNN answer against the backtracking solver's
+            solution (only meaningful for uniquely-solvable puzzles).
+        """
+        if not puzzle.is_valid():
+            raise ValueError("puzzle contains conflicting clues")
+        cfg = self.config
+        network = self._build_network(puzzle)
+        last_spike_step = np.full(NUM_NEURONS, -1, dtype=np.int64)
+        window = max(1, cfg.decode_window)
+        history = np.zeros((window, NUM_NEURONS), dtype=bool)
+        window_counts = np.zeros(NUM_NEURONS, dtype=np.int64)
+        total_spikes = 0
+        solved = False
+        decoded = puzzle.copy()
+        step = 0
+        substeps = getattr(network.population, "substeps_per_ms", 1)
+        for step in range(1, max_steps + 1):
+            fired = network.step(step)
+            slot = step % window
+            window_counts -= history[slot]
+            history[slot] = fired
+            window_counts += fired
+            if fired.any():
+                last_spike_step[fired] = step
+                total_spikes += int(fired.sum())
+            if step % check_interval == 0:
+                decoded = self.decode(window_counts, last_spike_step, puzzle)
+                if decoded.is_solved() and decoded.respects_clues(puzzle):
+                    solved = True
+                    break
+        if not solved:
+            decoded = self.decode(window_counts, last_spike_step, puzzle)
+            solved = decoded.is_solved() and decoded.respects_clues(puzzle)
+        matches = None
+        if verify_against_reference:
+            reference = BacktrackingSolver().solve(puzzle)
+            matches = reference is not None and bool(np.all(reference.cells == decoded.cells))
+        return SolveResult(
+            solved=solved,
+            steps=step,
+            board=decoded,
+            total_spikes=total_spikes,
+            neuron_updates=step * NUM_NEURONS * substeps,
+            matches_reference=matches,
+        )
+
+    def solve_many(
+        self, puzzles: List[SudokuBoard], *, max_steps: int = 3000
+    ) -> List[SolveResult]:
+        """Solve a list of puzzles (the Top-100-style sweep)."""
+        return [self.solve(p, max_steps=max_steps) for p in puzzles]

@@ -1,0 +1,181 @@
+"""Winner-Takes-All network construction for the SNN Sudoku solver.
+
+The paper's solver (§VI-C, Fig. 4) maps every cell of the 9x9 board to an
+array of nine Izhikevich neurons — one per candidate digit — for a total
+of 729 neurons.  When a digit-neuron spikes it *inhibits*:
+
+* the same digit in every other cell of its row,
+* the same digit in every other cell of its column,
+* the same digit in the other cells of its 3x3 box, and
+* every other digit of its own cell (the "multi-level" WTA).
+
+Clue cells receive a strong constant excitatory drive so their digit wins
+immediately; free cells receive a weak noisy drive so the network explores
+candidate assignments, with a small self-excitation term providing the
+persistence that lets a tentative winner hold its cell until it is
+inhibited by a conflicting, more strongly supported digit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from .board import SudokuBoard
+from ..snn.synapse import SparseSynapses
+
+__all__ = ["WTAConfig", "neuron_index", "neuron_coordinates", "conflicting_neurons", "build_wta_synapses", "WTAStatistics", "connectivity_statistics"]
+
+GRID = 9
+BOX = 3
+NUM_NEURONS = GRID * GRID * GRID  # 729
+
+
+@dataclass(frozen=True)
+class WTAConfig:
+    """Weights and drive levels of the WTA Sudoku network.
+
+    The defaults were tuned on the fixed-point (Q7.8 / Q15.16) datapath
+    with the membrane pin enabled, mirroring the paper's observation that
+    pinning the voltage at the reset potential was needed for convergence.
+    """
+
+    #: Inhibitory weight applied to every conflicting neuron on a spike.
+    inhibition_weight: float = -30.0
+    #: Self-excitation applied to the spiking neuron itself (persistence).
+    #: The default of 0 gives pure noise-driven sampling, which converged
+    #: most reliably on the fixed-point datapath.
+    self_excitation: float = 0.0
+    #: Constant drive of clue-digit neurons.
+    clue_drive: float = 10.0
+    #: Constant bias of free-cell candidate neurons.
+    free_bias: float = 3.0
+    #: Standard deviation of the exploration noise on free cells.
+    noise_sigma: float = 4.0
+    #: DCU decay selector for the synaptic current (tau ≈ a few ms).
+    tau_select: int = 2
+    #: Izhikevich parameters of every neuron (fast-spiking-like).
+    a: float = 0.1
+    b: float = 0.2
+    c: float = -65.0
+    d: float = 2.0
+    #: Sliding window (in 1 ms steps) over which spike counts are decoded.
+    decode_window: int = 20
+    #: Period (in steps) of the exploration-noise annealing cycle; within
+    #: each period the noise amplitude ramps down from its maximum to a
+    #: small residual, letting the network alternately explore and settle.
+    anneal_period: int = 200
+    #: Fraction of the noise amplitude retained at the end of a cycle.
+    anneal_floor: float = 0.25
+
+
+def neuron_index(row: int, col: int, digit: int) -> int:
+    """Flat neuron index of ``(row, col, digit)`` with digit in 1..9."""
+    if not (0 <= row < GRID and 0 <= col < GRID and 1 <= digit <= GRID):
+        raise ValueError(f"invalid neuron coordinates ({row}, {col}, {digit})")
+    return row * GRID * GRID + col * GRID + (digit - 1)
+
+
+def neuron_coordinates(index: int) -> Tuple[int, int, int]:
+    """Inverse of :func:`neuron_index`: returns ``(row, col, digit)``."""
+    if not 0 <= index < NUM_NEURONS:
+        raise ValueError(f"neuron index {index} out of range")
+    row, rest = divmod(index, GRID * GRID)
+    col, digit0 = divmod(rest, GRID)
+    return row, col, digit0 + 1
+
+
+def conflicting_neurons(row: int, col: int, digit: int) -> List[int]:
+    """All neurons inhibited by a spike of ``(row, col, digit)`` (Fig. 4)."""
+    targets = set()
+    # Same digit elsewhere in the row and column.
+    for c in range(GRID):
+        if c != col:
+            targets.add(neuron_index(row, c, digit))
+    for r in range(GRID):
+        if r != row:
+            targets.add(neuron_index(r, col, digit))
+    # Same digit elsewhere in the 3x3 box.
+    br, bc = BOX * (row // BOX), BOX * (col // BOX)
+    for r in range(br, br + BOX):
+        for c in range(bc, bc + BOX):
+            if (r, c) != (row, col):
+                targets.add(neuron_index(r, c, digit))
+    # Other digits of the same cell.
+    for d in range(1, GRID + 1):
+        if d != digit:
+            targets.add(neuron_index(row, col, d))
+    return sorted(targets)
+
+
+def build_wta_synapses(config: WTAConfig | None = None) -> SparseSynapses:
+    """Build the 729-neuron inhibition/self-excitation connectivity."""
+    cfg = config if config is not None else WTAConfig()
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for row in range(GRID):
+        for col in range(GRID):
+            for digit in range(1, GRID + 1):
+                pre = neuron_index(row, col, digit)
+                for post in conflicting_neurons(row, col, digit):
+                    rows.append(post)
+                    cols.append(pre)
+                    vals.append(cfg.inhibition_weight)
+                # Self-excitation keeps the current winner active.
+                rows.append(pre)
+                cols.append(pre)
+                vals.append(cfg.self_excitation)
+    matrix = sparse.coo_matrix((vals, (rows, cols)), shape=(NUM_NEURONS, NUM_NEURONS))
+    return SparseSynapses(matrix)
+
+
+@dataclass
+class WTAStatistics:
+    """Structural statistics of the WTA graph (regenerates Fig. 4's counts)."""
+
+    num_neurons: int
+    num_inhibitory_edges: int
+    num_self_edges: int
+    inhibitory_out_degree: int
+    #: Breakdown of one neuron's inhibitory fan-out by constraint type.
+    row_targets: int
+    column_targets: int
+    box_only_targets: int
+    cell_targets: int
+
+
+def connectivity_statistics(config: WTAConfig | None = None) -> WTAStatistics:
+    """Compute the per-neuron inhibition structure described by Fig. 4.
+
+    Every neuron inhibits 8 row peers + 8 column peers + 4 box-only peers
+    (the box cells not already counted in its row/column) + 8 other digits
+    of its own cell = 28 conflicting neurons.
+    """
+    synapses = build_wta_synapses(config)
+    row, col, digit = 0, 0, 1
+    targets = conflicting_neurons(row, col, digit)
+    row_targets = col_targets = box_only = cell_targets = 0
+    for t in targets:
+        tr, tc, td = neuron_coordinates(t)
+        if (tr, tc) == (row, col):
+            cell_targets += 1
+        elif td == digit and tr == row:
+            row_targets += 1
+        elif td == digit and tc == col:
+            col_targets += 1
+        else:
+            box_only += 1
+    return WTAStatistics(
+        num_neurons=NUM_NEURONS,
+        num_inhibitory_edges=synapses.num_synapses - NUM_NEURONS,
+        num_self_edges=NUM_NEURONS,
+        inhibitory_out_degree=len(targets),
+        row_targets=row_targets,
+        column_targets=col_targets,
+        box_only_targets=box_only,
+        cell_targets=cell_targets,
+    )

@@ -1,0 +1,46 @@
+"""Tests for the soft-float baseline cost model."""
+
+import pytest
+
+from repro.codegen import (
+    FloatOpCounts,
+    IZHIKEVICH_FLOAT_OPS,
+    SoftFloatCostModel,
+    estimate_softfloat_speedup,
+)
+
+
+class TestFloatOpCounts:
+    def test_izhikevich_budget(self):
+        ops = IZHIKEVICH_FLOAT_OPS
+        assert ops.multiplications >= 7
+        assert ops.divisions == 1
+        assert ops.total == (
+            ops.additions + ops.multiplications + ops.divisions + ops.comparisons + ops.int_float_conversions
+        )
+
+
+class TestCostModel:
+    def test_instruction_count_dominated_by_mul_and_div(self):
+        model = SoftFloatCostModel()
+        breakdown = model.breakdown()
+        assert breakdown["multiplications"] > breakdown["comparisons"]
+        assert sum(breakdown.values()) == model.instructions_per_update()
+
+    def test_cycles_exceed_instructions(self):
+        model = SoftFloatCostModel()
+        assert model.cycles_per_update() > model.instructions_per_update()
+
+    def test_custom_op_counts(self):
+        model = SoftFloatCostModel()
+        cheap = FloatOpCounts(additions=1, multiplications=1, divisions=0, comparisons=0, int_float_conversions=0)
+        assert model.instructions_per_update(cheap) < model.instructions_per_update()
+
+    def test_speedup_scale(self):
+        # With ~30 cycles per extension update the speedup lands in the
+        # tens, consistent with the paper's ~40x claim.
+        speedup = estimate_softfloat_speedup(30.0)
+        assert 20.0 < speedup < 100.0
+
+    def test_speedup_inversely_proportional(self):
+        assert estimate_softfloat_speedup(10.0) == pytest.approx(2 * estimate_softfloat_speedup(20.0))

@@ -1,0 +1,125 @@
+"""Tests for the raw fixed-point arithmetic helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import (
+    Q4_11,
+    Q7_8,
+    Q15_16,
+    align,
+    fx_add,
+    fx_compare,
+    fx_mul,
+    fx_neg,
+    fx_shift_left,
+    fx_shift_right,
+    fx_sub,
+    requantize,
+)
+
+
+class TestAlign:
+    def test_align_up_is_exact(self):
+        raw = Q7_8.from_float(2.5)
+        assert align(raw, Q7_8, 16) == Q15_16.from_float(2.5)
+
+    def test_align_down_floors(self):
+        raw = Q15_16.from_float(0.00001)
+        assert align(raw, Q15_16, 8) == 0
+
+    def test_align_preserves_format_when_same(self):
+        raw = Q7_8.from_float(-3.0)
+        assert align(raw, Q7_8, Q7_8.frac_bits) == raw
+
+
+class TestArithmetic:
+    def test_add_same_format(self):
+        a = Q7_8.from_float(1.5)
+        b = Q7_8.from_float(2.25)
+        assert Q7_8.to_float(fx_add(a, Q7_8, b, Q7_8, Q7_8)) == pytest.approx(3.75)
+
+    def test_add_mixed_formats(self):
+        a = Q7_8.from_float(1.5)
+        b = Q15_16.from_float(0.25)
+        out = fx_add(a, Q7_8, b, Q15_16, Q15_16)
+        assert Q15_16.to_float(out) == pytest.approx(1.75)
+
+    def test_sub(self):
+        a = Q15_16.from_float(10.0)
+        b = Q15_16.from_float(2.5)
+        assert Q15_16.to_float(fx_sub(a, Q15_16, b, Q15_16, Q15_16)) == pytest.approx(7.5)
+
+    def test_mul_quantization(self):
+        a = Q4_11.from_float(0.2)
+        b = Q7_8.from_float(-65.0)
+        out = fx_mul(a, Q4_11, b, Q7_8, Q7_8)
+        assert Q7_8.to_float(out) == pytest.approx(0.2 * -65.0, abs=0.05)
+
+    def test_mul_saturates(self):
+        a = Q7_8.from_float(127.0)
+        b = Q7_8.from_float(127.0)
+        assert fx_mul(a, Q7_8, b, Q7_8, Q7_8) == Q7_8.raw_max
+
+    def test_neg(self):
+        assert fx_neg(Q7_8.from_float(3.0), Q7_8) == Q7_8.from_float(-3.0)
+        # Negating the most negative value saturates rather than overflowing.
+        assert fx_neg(Q7_8.raw_min, Q7_8) == Q7_8.raw_max
+
+    def test_shifts(self):
+        raw = Q15_16.from_float(8.0)
+        assert Q15_16.to_float(fx_shift_right(raw, 3)) == pytest.approx(1.0)
+        assert Q15_16.to_float(fx_shift_left(Q15_16.from_float(1.0), 3, Q15_16)) == pytest.approx(8.0)
+
+    def test_shift_rejects_negative_amount(self):
+        with pytest.raises(ValueError):
+            fx_shift_right(100, -1)
+        with pytest.raises(ValueError):
+            fx_shift_left(100, -2, Q15_16)
+
+    def test_compare(self):
+        a = Q7_8.from_float(1.0)
+        b = Q15_16.from_float(2.0)
+        assert fx_compare(a, Q7_8, b, Q15_16) == -1
+        assert fx_compare(b, Q15_16, a, Q7_8) == 1
+        assert fx_compare(a, Q7_8, Q15_16.from_float(1.0), Q15_16) == 0
+
+    def test_requantize_matches_convert_raw(self):
+        raw = Q15_16.from_float(3.14159)
+        assert requantize(raw, Q15_16, Q7_8) == Q15_16.convert_raw(raw, Q7_8)
+
+    def test_vectorised_add(self):
+        a = np.asarray(Q7_8.from_float(np.array([1.0, -2.0, 3.0])))
+        b = np.asarray(Q7_8.from_float(np.array([0.5, 0.5, 0.5])))
+        out = fx_add(a, Q7_8, b, Q7_8, Q7_8)
+        np.testing.assert_allclose(Q7_8.to_float(out), [1.5, -1.5, 3.5])
+
+
+_small_floats = st.floats(min_value=-60.0, max_value=60.0, allow_nan=False)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_small_floats, _small_floats)
+def test_add_commutative(x, y):
+    a, b = Q7_8.from_float(x), Q7_8.from_float(y)
+    assert fx_add(a, Q7_8, b, Q7_8, Q15_16) == fx_add(b, Q7_8, a, Q7_8, Q15_16)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_small_floats, _small_floats)
+def test_add_matches_float_within_lsb(x, y):
+    a, b = Q7_8.from_float(x), Q7_8.from_float(y)
+    out = fx_add(a, Q7_8, b, Q7_8, Q15_16)
+    assert Q15_16.to_float(out) == pytest.approx(
+        Q7_8.to_float(a) + Q7_8.to_float(b), abs=Q15_16.resolution
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.floats(min_value=-5.0, max_value=5.0), st.floats(min_value=-5.0, max_value=5.0))
+def test_mul_sign_correct(x, y):
+    a, b = Q4_11.from_float(x), Q4_11.from_float(y)
+    out = fx_mul(a, Q4_11, b, Q4_11, Q15_16)
+    product = Q4_11.to_float(a) * Q4_11.to_float(b)
+    assert Q15_16.to_float(out) == pytest.approx(product, abs=2 * Q15_16.resolution + 1e-9)

@@ -1,0 +1,47 @@
+"""Tests for VU-word packing (the nmpn state word)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import Q7_8, pack_vu, pack_vu_float, unpack_vu, unpack_vu_float
+
+
+class TestPackUnpack:
+    def test_pack_layout(self):
+        v_raw = Q7_8.from_float(30.0)
+        u_raw = Q7_8.from_float(-13.0)
+        word = pack_vu(v_raw, u_raw)
+        assert (word >> 16) & 0xFFFF == v_raw
+        assert word & 0xFFFF == (u_raw + 0x10000)  # two's complement low half
+
+    def test_roundtrip_scalar(self):
+        v_raw = Q7_8.from_float(-65.0)
+        u_raw = Q7_8.from_float(-13.0)
+        assert unpack_vu(pack_vu(v_raw, u_raw)) == (v_raw, u_raw)
+
+    def test_roundtrip_float(self):
+        v, u = unpack_vu_float(pack_vu_float(-65.0, -13.0))
+        assert v == pytest.approx(-65.0, abs=Q7_8.resolution)
+        assert u == pytest.approx(-13.0, abs=Q7_8.resolution)
+
+    def test_word_is_32bit(self):
+        word = pack_vu_float(-128.0, -128.0)
+        assert 0 <= word < (1 << 32)
+
+    def test_vectorised(self):
+        v = np.asarray(Q7_8.from_float(np.array([-65.0, 30.0, 0.0])))
+        u = np.asarray(Q7_8.from_float(np.array([-13.0, 2.0, -1.0])))
+        words = pack_vu(v, u)
+        v2, u2 = unpack_vu(words)
+        np.testing.assert_array_equal(v, v2)
+        np.testing.assert_array_equal(u, u2)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=Q7_8.raw_min, max_value=Q7_8.raw_max),
+    st.integers(min_value=Q7_8.raw_min, max_value=Q7_8.raw_max),
+)
+def test_pack_unpack_is_identity(v_raw, u_raw):
+    assert unpack_vu(pack_vu(v_raw, u_raw)) == (v_raw, u_raw)

@@ -1,0 +1,77 @@
+"""Tests for the reporting helpers and the lightweight experiment drivers."""
+
+import pytest
+
+from repro.harness import (
+    fig4_wta,
+    fig5_floorplan,
+    format_comparison,
+    format_kv,
+    format_table,
+    softfloat_speedup,
+    table1_isa_roundtrip,
+    table2_dcu,
+    table3_max10,
+    table4_agilex,
+    table7_asic,
+)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["Name", "Value"], [["alpha", 1.5], ["b", 1234.0]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Name" in lines[1] and "Value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_comparison(self):
+        rows = {"IPC": {"paper": 0.57, "measured": 0.76}}
+        text = format_comparison(rows, columns=["paper", "measured"])
+        assert "IPC" in text and "0.57" in text
+
+    def test_format_kv(self):
+        text = format_kv({"speedup": 1.64})
+        assert "speedup" in text and "1.64" in text
+
+    def test_missing_column_rendered_as_dash(self):
+        text = format_comparison({"x": {"a": 1}}, columns=["a", "b"])
+        assert "-" in text
+
+
+class TestExperimentDrivers:
+    def test_table1(self):
+        rows = table1_isa_roundtrip()
+        assert set(rows) == {"nmldl", "nmldh", "nmpn", "nmdec"}
+        assert all(r["roundtrip_ok"] and r["custom0"] for r in rows.values())
+        assert all(r["opcode"] == "0001011" for r in rows.values())
+
+    def test_table2_flags_paper_discrepancy(self):
+        table = table2_dcu()
+        assert table[7]["matches_paper"]
+        assert not table[6]["matches_paper"]  # the /6 typo in the paper
+
+    def test_table3_and_table4(self):
+        t3 = table3_max10()
+        assert t3["model_rows"]["Frequency"] == "30 MHz"
+        t4 = table4_agilex()
+        assert set(t4["reports"]) == {16, 32, 64}
+        assert t4["max_cores"] > 100
+
+    def test_table7(self):
+        t7 = table7_asic()
+        assert set(t7["reports"]) == {"FreePDK45", "ASAP7"}
+
+    def test_fig4(self):
+        data = fig4_wta()
+        assert data["stats"].inhibitory_out_degree == data["expected_out_degree"] == 28
+
+    def test_fig5(self):
+        data = fig5_floorplan()
+        assert "FreePDK45" in data and "ASAP7" in data
+        assert 0.1 < data["npu_fraction"] < 0.3
+
+    def test_softfloat_speedup_order_of_magnitude(self):
+        result = softfloat_speedup(num_neurons=24, num_steps=2)
+        assert result["speedup"] > 10.0
+        assert result["extension_cycles_per_update"] > 1.0

@@ -1,0 +1,127 @@
+"""Tests for the FPGA and standard-cell hardware cost models."""
+
+import pytest
+
+from repro.harness import paper_data
+from repro.hw import (
+    AGILEX7_CORE,
+    AGILEX7_DEVICE,
+    ASAP7,
+    AsicModel,
+    FPGAResourceModel,
+    FREEPDK45,
+    MAX10_CORE,
+    MAX10_DEVICE,
+    agilex_scaling_reports,
+    block_fractions,
+    floorplan_summary,
+    max10_dual_core_report,
+    render_floorplan,
+    standard_cell_reports,
+)
+
+
+class TestMax10Model:
+    def test_dual_core_matches_table3(self):
+        report = max10_dual_core_report()
+        paper = paper_data.PAPER_TABLE3_MAX10
+        assert report.logic == pytest.approx(paper["logic_elements"], rel=0.02)
+        assert report.flipflops == pytest.approx(paper["flipflops"], rel=0.02)
+        assert report.memory == pytest.approx(paper["bram_kb"], rel=0.02)
+        assert report.dsp == paper["multipliers"]
+        assert report.logic_percent == pytest.approx(paper["logic_percent"], abs=2.0)
+
+    def test_three_cores_do_not_fit_max10(self):
+        model = FPGAResourceModel(MAX10_DEVICE, MAX10_CORE)
+        assert model.estimate(2).fits
+        assert not model.estimate(3).fits
+        assert model.max_cores() == 2
+
+    def test_report_rows_format(self):
+        rows = max10_dual_core_report().as_rows()
+        assert rows["Frequency"] == "30 MHz"
+        assert "%" in rows["Logic elements"]
+
+
+class TestAgilexModel:
+    def test_scaling_matches_table4(self):
+        for report in agilex_scaling_reports([16, 32, 64]):
+            paper = paper_data.PAPER_TABLE4_AGILEX[report.num_cores]
+            assert report.logic == pytest.approx(paper["alm"], rel=0.05)
+            assert report.flipflops == pytest.approx(paper["ff"], rel=0.05)
+            assert report.memory == pytest.approx(paper["ram_blocks"], rel=0.15)
+            assert report.dsp == pytest.approx(paper["dsp"], rel=0.01)
+
+    def test_resources_grow_linearly(self):
+        reports = agilex_scaling_reports([16, 32, 64])
+        assert reports[1].logic > reports[0].logic
+        assert reports[2].logic > reports[1].logic
+
+    def test_extrapolated_max_cores_near_paper_claim(self):
+        model = FPGAResourceModel(AGILEX7_DEVICE, AGILEX7_CORE)
+        max_cores = model.max_cores()
+        assert 150 <= max_cores <= 250  # paper estimates "up to 192"
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            FPGAResourceModel(AGILEX7_DEVICE, AGILEX7_CORE).estimate(0)
+
+
+class TestAsicModel:
+    def test_freepdk45_matches_table7(self):
+        report = standard_cell_reports()["FreePDK45"]
+        paper = paper_data.PAPER_TABLE7_ASIC["FreePDK45"]
+        assert report.total_area_um2 == pytest.approx(paper["total_area_um2"], rel=0.02)
+        assert report.switching_power_mw == pytest.approx(paper["switching_power_mw"], rel=0.05)
+        assert report.internal_power_mw == pytest.approx(paper["internal_power_mw"], rel=0.05)
+        assert report.leakage_power_uw == pytest.approx(paper["leakage_uw"], rel=0.05)
+        assert report.clock_mhz == paper["clock_mhz"]
+        assert report.peak_neural_gips == pytest.approx(paper["peak_neural_gips"], rel=0.01)
+
+    def test_asap7_matches_table7(self):
+        report = standard_cell_reports()["ASAP7"]
+        paper = paper_data.PAPER_TABLE7_ASIC["ASAP7"]
+        assert report.total_area_um2 == pytest.approx(paper["total_area_um2"], rel=0.02)
+        assert report.total_power_mw == pytest.approx(paper["total_power_mw"], rel=0.05)
+        assert report.throughput_mupd_s == pytest.approx(paper["throughput_mupd_s"], rel=0.02)
+        assert report.power_efficiency_gupd_s_w == pytest.approx(
+            paper["power_efficiency_gupd_s_w"], rel=0.05
+        )
+
+    def test_area_shrinks_with_technology(self):
+        reports = standard_cell_reports()
+        assert reports["ASAP7"].total_area_um2 < reports["FreePDK45"].total_area_um2 / 10
+
+    def test_npu_fraction_claim(self):
+        model = AsicModel()
+        assert model.npu_area_fraction() <= 0.25  # "no more than roughly 20 %"
+        assert model.npu_area_fraction() >= 0.15
+        assert model.dcu_area_fraction() < 0.03  # "< 2 %"
+
+    def test_block_lookup(self):
+        report = standard_cell_reports()["FreePDK45"]
+        assert report.block_area("NPU") > report.block_area("DCU")
+        with pytest.raises(KeyError):
+            report.block_area("GPU")
+
+    def test_as_rows_keys(self):
+        rows = standard_cell_reports()["ASAP7"].as_rows()
+        assert "Total area [um2]" in rows and "Clock [MHz]" in rows
+
+
+class TestFloorplan:
+    def test_fractions_sum_to_one(self):
+        report = AsicModel().report(FREEPDK45)
+        assert sum(block_fractions(report).values()) == pytest.approx(1.0)
+
+    def test_render_contains_all_blocks(self):
+        report = AsicModel().report(ASAP7)
+        art = render_floorplan(report)
+        for name in ("NPU", "DCU", "ALU", "Fetch/Decode"):
+            assert name in art
+
+    def test_summary_values(self):
+        summary = floorplan_summary(AsicModel().report(FREEPDK45))
+        assert 0.15 <= summary["npu_fraction"] <= 0.25
+        assert summary["dcu_fraction"] < 0.03
+        assert summary["total_area_um2"] > 0

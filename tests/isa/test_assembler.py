@@ -1,0 +1,225 @@
+"""Tests for the two-pass assembler and disassembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble, decode, disassemble_word
+from repro.isa.registers import register_index, register_name
+
+
+class TestRegisters:
+    def test_abi_names(self):
+        assert register_index("zero") == 0
+        assert register_index("ra") == 1
+        assert register_index("sp") == 2
+        assert register_index("a0") == 10
+        assert register_index("t6") == 31
+        assert register_index("fp") == 8
+
+    def test_x_names(self):
+        for i in range(32):
+            assert register_index(f"x{i}") == i
+
+    def test_register_name_roundtrip(self):
+        for i in range(32):
+            assert register_index(register_name(i)) == i
+
+    def test_unknown_register(self):
+        with pytest.raises(ValueError):
+            register_index("q7")
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        prog = assemble("add a0, a1, a2")
+        assert len(prog.words) == 1
+        assert decode(prog.words[0]).name == "add"
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+        # a comment
+        addi t0, zero, 5   // trailing comment
+
+        """)
+        assert len(prog.words) == 1
+
+    def test_load_store_operands(self):
+        prog = assemble("lw a0, 8(sp)\nsw a0, -4(sp)")
+        lw, sw = (decode(w) for w in prog.words)
+        assert (lw.name, lw.imm, lw.rs1) == ("lw", 8, 2)
+        assert (sw.name, sw.imm, sw.rs1) == ("sw", -4, 2)
+
+    def test_labels_and_branches(self):
+        prog = assemble("""
+        _start:
+            addi t0, zero, 3
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+        """)
+        branch = decode(prog.words[2])
+        assert branch.name == "bne"
+        assert branch.imm == -4
+
+    def test_forward_branch(self):
+        prog = assemble("""
+            beq a0, a1, done
+            addi a0, a0, 1
+        done:
+            ebreak
+        """)
+        assert decode(prog.words[0]).imm == 8
+
+    def test_jal_label(self):
+        prog = assemble("""
+            j end
+            nop
+        end:
+            ebreak
+        """)
+        assert decode(prog.words[0]).name == "jal"
+        assert decode(prog.words[0]).imm == 8
+
+    def test_li_small_and_large(self):
+        prog = assemble("li t0, 5\nli t1, 0x12345678")
+        assert len(prog.words) == 4  # each li expands to lui+addi
+        # Execute mentally: lui 0 + addi 5
+        assert decode(prog.words[0]).name == "lui"
+        assert decode(prog.words[1]).imm == 5
+
+    def test_custom_instructions_assemble(self):
+        prog = assemble("""
+            nmldl x0, a6, a7
+            nmldh x0, t0, x0
+            nmpn a2, a0, a1
+            nmdec a3, t1, a1
+        """)
+        names = [decode(w).name for w in prog.words]
+        assert names == ["nmldl", "nmldh", "nmpn", "nmdec"]
+
+    def test_equ_and_expressions(self):
+        prog = assemble("""
+        .equ BASE, 0x1000
+        .equ OFFSET, 16
+            li t0, BASE+OFFSET
+            lw t1, OFFSET(t0)
+        """)
+        assert decode(prog.words[1]).imm == 0x10 + 0  # addi part of li carries low bits
+        assert decode(prog.words[2]).imm == 16
+
+    def test_word_directive(self):
+        prog = assemble("""
+        data:
+            .word 0xDEADBEEF, 42
+        """)
+        assert prog.words[0] == 0xDEADBEEF
+        assert prog.words[1] == 42
+
+    def test_origin_and_symbols(self):
+        prog = assemble("_start: nop", origin=0x400)
+        assert prog.origin == 0x400
+        assert prog.entry_point == 0x400
+        assert prog.symbols["_start"] == 0x400
+
+    def test_word_at(self):
+        prog = assemble("nop\nnop")
+        assert prog.word_at(4) == prog.words[1]
+        with pytest.raises(IndexError):
+            prog.word_at(100)
+
+
+class TestPseudoInstructions:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("nop", "addi"),
+            ("mv a0, a1", "addi"),
+            ("not a0, a1", "xori"),
+            ("neg a0, a1", "sub"),
+            ("seqz a0, a1", "sltiu"),
+            ("snez a0, a1", "sltu"),
+            ("jr ra", "jalr"),
+            ("ret", "jalr"),
+        ],
+    )
+    def test_single_word_pseudos(self, source, expected):
+        assert decode(assemble(source).words[0]).name == expected
+
+    def test_branch_pseudos(self):
+        prog = assemble("""
+        top:
+            beqz a0, top
+            bnez a1, top
+            bgt a2, a3, top
+            ble a4, a5, top
+        """)
+        names = [decode(w).name for w in prog.words]
+        assert names == ["beq", "bne", "blt", "bge"]
+
+    def test_bgt_swaps_operands(self):
+        instr = decode(assemble("here: bgt a0, a1, here").words[0])
+        assert instr.rs1 == register_index("a1")
+        assert instr.rs2 == register_index("a0")
+
+    def test_call_uses_ra(self):
+        prog = assemble("""
+            call fn
+            ebreak
+        fn:
+            ret
+        """)
+        jal = decode(prog.words[0])
+        assert jal.name == "jal" and jal.rd == 1
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate a0, a1")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: nop")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi a0, a1, 5000")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError):
+            assemble("li a0, MISSING")
+
+    def test_branch_out_of_range(self):
+        source = "start: nop\n" + "nop\n" * 2000 + "beq a0, a1, start"
+        with pytest.raises(AssemblerError):
+            assemble(source)
+
+
+class TestDisassembler:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "add a0, a1, a2",
+            "addi t0, t1, -7",
+            "lw a0, 12(sp)",
+            "sw a1, -8(s0)",
+            "lui a0, 0x12345",
+            "nmpn a2, a0, a1",
+            "nmdec a3, t1, a1",
+        ],
+    )
+    def test_roundtrip_through_text(self, source):
+        word = assemble(source).words[0]
+        text = disassemble_word(word)
+        word2 = assemble(text).words[0]
+        assert word == word2
+
+    def test_listing_contains_addresses(self):
+        from repro.isa import disassemble
+
+        listing = disassemble(assemble("nop\nnop").words, origin=0x100)
+        assert "00000100" in listing and "00000104" in listing

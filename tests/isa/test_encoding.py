@@ -1,0 +1,96 @@
+"""Tests for instruction-word field encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import encoding as enc
+
+
+class TestSignExtension:
+    def test_positive(self):
+        assert enc.sign_extend(0x7FF, 12) == 2047
+
+    def test_negative(self):
+        assert enc.sign_extend(0xFFF, 12) == -1
+        assert enc.sign_extend(0x800, 12) == -2048
+
+    def test_to_signed32(self):
+        assert enc.to_signed32(0xFFFFFFFF) == -1
+        assert enc.to_signed32(0x7FFFFFFF) == 0x7FFFFFFF
+
+    def test_to_unsigned32(self):
+        assert enc.to_unsigned32(-1) == 0xFFFFFFFF
+
+
+class TestEncoders:
+    def test_r_type_fields(self):
+        word = enc.encode_r(0b0110011, rd=1, funct3=0, rs1=2, rs2=3, funct7=0b0100000)
+        fields = enc.decode_fields(word)
+        assert fields["opcode"] == 0b0110011
+        assert fields["rd"] == 1
+        assert fields["rs1"] == 2
+        assert fields["rs2"] == 3
+        assert fields["funct7"] == 0b0100000
+
+    def test_i_type_immediate(self):
+        word = enc.encode_i(0b0010011, rd=5, funct3=0, rs1=6, imm=-1)
+        assert enc.imm_i(word) == -1
+
+    def test_s_type_immediate(self):
+        word = enc.encode_s(0b0100011, funct3=2, rs1=2, rs2=7, imm=-4)
+        assert enc.imm_s(word) == -4
+
+    def test_b_type_immediate(self):
+        word = enc.encode_b(0b1100011, funct3=0, rs1=1, rs2=2, imm=-8)
+        assert enc.imm_b(word) == -8
+
+    def test_b_type_rejects_odd_offset(self):
+        with pytest.raises(ValueError):
+            enc.encode_b(0b1100011, funct3=0, rs1=1, rs2=2, imm=3)
+
+    def test_u_type_immediate(self):
+        word = enc.encode_u(0b0110111, rd=3, imm=0xABCDE)
+        assert (enc.imm_u(word) >> 12) & 0xFFFFF == 0xABCDE
+
+    def test_j_type_immediate(self):
+        word = enc.encode_j(0b1101111, rd=1, imm=2048)
+        assert enc.imm_j(word) == 2048
+
+    def test_j_type_negative(self):
+        word = enc.encode_j(0b1101111, rd=0, imm=-4)
+        assert enc.imm_j(word) == -4
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            enc.encode_r(0b0110011, rd=32, funct3=0, rs1=0, rs2=0, funct7=0)
+
+    def test_custom0_opcode_value(self):
+        assert enc.OPCODE_CUSTOM0 == 0b0001011
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=-2048, max_value=2047))
+def test_i_immediate_roundtrip(imm):
+    word = enc.encode_i(0b0010011, rd=1, funct3=0, rs1=2, imm=imm)
+    assert enc.imm_i(word) == imm
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=-2048, max_value=2047))
+def test_s_immediate_roundtrip(imm):
+    word = enc.encode_s(0b0100011, funct3=2, rs1=1, rs2=2, imm=imm)
+    assert enc.imm_s(word) == imm
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=-2048, max_value=2046).map(lambda x: x & ~1))
+def test_b_immediate_roundtrip(imm):
+    word = enc.encode_b(0b1100011, funct3=0, rs1=1, rs2=2, imm=imm)
+    assert enc.imm_b(word) == imm
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=-(1 << 20) // 2, max_value=(1 << 20) // 2 - 2).map(lambda x: x & ~1))
+def test_j_immediate_roundtrip(imm):
+    word = enc.encode_j(0b1101111, rd=1, imm=imm)
+    assert enc.imm_j(word) == imm

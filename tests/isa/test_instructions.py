@@ -1,0 +1,118 @@
+"""Tests for the instruction registry, encoder and decoder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    DecodedInstr,
+    INSTRUCTIONS,
+    IllegalInstructionError,
+    InstrFormat,
+    NM_MNEMONICS,
+    decode,
+    encode,
+    lookup,
+)
+
+
+class TestRegistry:
+    def test_rv32i_base_present(self):
+        for name in ("add", "sub", "lw", "sw", "beq", "jal", "jalr", "lui", "auipc", "ecall"):
+            assert name in INSTRUCTIONS
+
+    def test_rv32m_present(self):
+        for name in ("mul", "mulh", "mulhu", "mulhsu", "div", "divu", "rem", "remu"):
+            assert name in INSTRUCTIONS
+
+    def test_custom_instructions_present(self):
+        for name in NM_MNEMONICS:
+            assert name in INSTRUCTIONS
+            assert INSTRUCTIONS[name].opcode == 0b0001011
+
+    def test_lookup_case_insensitive(self):
+        assert lookup("ADD") is INSTRUCTIONS["add"]
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            lookup("fld")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(set(INSTRUCTIONS) - {"ecall", "ebreak", "fence"}))
+    def test_encode_decode_roundtrip(self, name):
+        spec = INSTRUCTIONS[name]
+        kwargs = dict(rd=5, rs1=6, rs2=7, imm=16)
+        if spec.fmt is InstrFormat.B or spec.fmt is InstrFormat.J:
+            kwargs["imm"] = 16
+        word = encode(name, **kwargs)
+        decoded = decode(word)
+        assert decoded.name == name
+
+    def test_ecall_ebreak_distinguished(self):
+        assert decode(encode("ecall")).name == "ecall"
+        assert decode(encode("ebreak")).name == "ebreak"
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(0xFFFFFFFF)
+        with pytest.raises(IllegalInstructionError):
+            decode(0x0000007F)
+
+
+class TestOperandViews:
+    def test_add_sources_and_dest(self):
+        instr = decode(encode("add", rd=3, rs1=1, rs2=2))
+        assert instr.source_registers == (1, 2)
+        assert instr.dest_register == 3
+
+    def test_x0_excluded(self):
+        instr = decode(encode("add", rd=0, rs1=0, rs2=5))
+        assert instr.source_registers == (5,)
+        assert instr.dest_register is None
+
+    def test_store_has_no_dest(self):
+        instr = decode(encode("sw", rs1=2, rs2=7, imm=4))
+        assert instr.dest_register is None
+        assert instr.is_store
+        assert instr.writes_memory
+
+    def test_load_classification(self):
+        instr = decode(encode("lw", rd=5, rs1=2, imm=8))
+        assert instr.is_load and instr.reads_memory and not instr.is_store
+
+    def test_branch_classification(self):
+        instr = decode(encode("bne", rs1=1, rs2=2, imm=8))
+        assert instr.is_branch and instr.dest_register is None
+
+    def test_mul_div_classification(self):
+        assert decode(encode("mul", rd=1, rs1=2, rs2=3)).is_mul
+        assert decode(encode("rem", rd=1, rs1=2, rs2=3)).is_div
+
+    def test_nmpn_reads_rd_as_source(self):
+        instr = decode(encode("nmpn", rd=12, rs1=10, rs2=11))
+        assert instr.is_neuromorphic
+        assert set(instr.source_registers) == {10, 11, 12}
+        assert instr.dest_register == 12
+        assert instr.writes_memory
+
+    def test_nmldl_is_plain_r_type(self):
+        instr = decode(encode("nmldl", rd=1, rs1=2, rs2=3))
+        assert instr.fmt is InstrFormat.R
+        assert instr.is_neuromorphic
+        assert not instr.writes_memory
+
+    def test_custom_funct3_values_distinct(self):
+        funct3 = {name: INSTRUCTIONS[name].funct3 for name in NM_MNEMONICS}
+        assert len(set(funct3.values())) == 4
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.sampled_from(["add", "sub", "and", "or", "xor", "mul", "div"]),
+    st.integers(min_value=0, max_value=31),
+    st.integers(min_value=0, max_value=31),
+    st.integers(min_value=0, max_value=31),
+)
+def test_r_type_roundtrip_fields(name, rd, rs1, rs2):
+    decoded = decode(encode(name, rd=rd, rs1=rs1, rs2=rs2))
+    assert (decoded.name, decoded.rd, decoded.rs1, decoded.rs2) == (name, rd, rs1, rs2)

@@ -1,0 +1,100 @@
+"""Tests for the neuromorphic extension operand packing (paper Table I)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    IzhikevichParams,
+    pack_isyn,
+    pack_nmldh_operand,
+    pack_nmldl_operands,
+    unpack_isyn,
+    unpack_nmldh_operand,
+    unpack_nmldl_operands,
+)
+from repro.fixedpoint import Q4_11, Q7_8, Q15_16
+
+
+class TestParams:
+    def test_regular_spiking_values(self):
+        p = IzhikevichParams.regular_spiking()
+        assert (p.a, p.b, p.c, p.d) == (0.02, 0.2, -65.0, 8.0)
+
+    def test_fast_spiking_values(self):
+        p = IzhikevichParams.fast_spiking()
+        assert p.a == pytest.approx(0.1)
+        assert p.d == pytest.approx(2.0)
+
+    def test_quantized_within_lsb(self):
+        p = IzhikevichParams.regular_spiking().quantized()
+        assert p.a == pytest.approx(0.02, abs=Q4_11.resolution)
+        assert p.c == pytest.approx(-65.0, abs=Q7_8.resolution)
+
+    def test_preset_variety(self):
+        presets = {
+            IzhikevichParams.regular_spiking(),
+            IzhikevichParams.fast_spiking(),
+            IzhikevichParams.intrinsically_bursting(),
+            IzhikevichParams.chattering(),
+        }
+        assert len(presets) == 4
+
+
+class TestNmldlPacking:
+    def test_field_positions(self):
+        p = IzhikevichParams(a=0.02, b=0.2, c=-65.0, d=8.0)
+        rs1, rs2 = pack_nmldl_operands(p)
+        assert rs1 & 0xFFFF == Q4_11.to_unsigned(Q4_11.from_float(0.02))
+        assert (rs1 >> 16) & 0xFFFF == Q4_11.to_unsigned(Q4_11.from_float(0.2))
+        assert rs2 & 0xFFFF == Q7_8.to_unsigned(Q7_8.from_float(-65.0))
+        assert (rs2 >> 16) & 0xFFFF == Q4_11.to_unsigned(Q4_11.from_float(8.0))
+
+    def test_roundtrip(self):
+        p = IzhikevichParams(a=0.1, b=0.25, c=-55.0, d=2.0)
+        rs1, rs2 = pack_nmldl_operands(p)
+        back = unpack_nmldl_operands(rs1, rs2)
+        assert back.a == pytest.approx(0.1, abs=Q4_11.resolution)
+        assert back.b == pytest.approx(0.25, abs=Q4_11.resolution)
+        assert back.c == pytest.approx(-55.0, abs=Q7_8.resolution)
+        assert back.d == pytest.approx(2.0, abs=Q4_11.resolution)
+
+    def test_words_are_32bit(self):
+        rs1, rs2 = pack_nmldl_operands(IzhikevichParams(-2.0, -1.0, -65.0, -3.0))
+        assert 0 <= rs1 < (1 << 32) and 0 <= rs2 < (1 << 32)
+
+
+class TestNmldhPacking:
+    @pytest.mark.parametrize("fine,pin", [(False, False), (True, False), (False, True), (True, True)])
+    def test_roundtrip(self, fine, pin):
+        word = pack_nmldh_operand(fine_timestep=fine, pin_voltage=pin)
+        assert unpack_nmldh_operand(word) == (fine, pin)
+
+    def test_bit_layout(self):
+        assert pack_nmldh_operand(fine_timestep=True, pin_voltage=False) == 0b01
+        assert pack_nmldh_operand(fine_timestep=False, pin_voltage=True) == 0b10
+
+
+class TestIsynPacking:
+    def test_roundtrip(self):
+        for value in (0.0, 10.0, -5.5, 1000.25):
+            assert unpack_isyn(pack_isyn(value)) == pytest.approx(value, abs=Q15_16.resolution)
+
+    def test_negative_is_twos_complement(self):
+        word = pack_isyn(-1.0)
+        assert word > 0x8000_0000
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=-120, max_value=120),
+    st.floats(min_value=-10, max_value=10),
+)
+def test_nmldl_roundtrip_property(a, b, c, d):
+    rs1, rs2 = pack_nmldl_operands(IzhikevichParams(a, b, c, d))
+    back = unpack_nmldl_operands(rs1, rs2)
+    assert back.a == pytest.approx(a, abs=Q4_11.resolution)
+    assert back.b == pytest.approx(b, abs=Q4_11.resolution)
+    assert back.c == pytest.approx(c, abs=Q7_8.resolution)
+    assert back.d == pytest.approx(d, abs=Q4_11.resolution)

@@ -1,0 +1,151 @@
+"""Tests for the shared bus and the multi-core system model."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import (
+    BusStats,
+    CoreConfig,
+    DEFAULT_MEMORY_MAP,
+    FunctionalSimulator,
+    Memory,
+    MultiCoreSystem,
+    PerfCounters,
+    SharedBus,
+)
+
+
+class TestSharedBus:
+    def test_uncontended_request_costs_transfer_overhead(self):
+        bus = SharedBus(transfer_cycles=2)
+        assert bus.request(0, cycle=10, duration=5) == 2
+
+    def test_back_to_back_requests_wait(self):
+        bus = SharedBus(transfer_cycles=2)
+        bus.request(0, cycle=0, duration=10)
+        wait = bus.request(1, cycle=1, duration=10)
+        assert wait > 2  # second master waits for the first transaction
+
+    def test_idle_bus_after_gap(self):
+        bus = SharedBus(transfer_cycles=1)
+        bus.request(0, cycle=0, duration=3)
+        assert bus.request(1, cycle=100, duration=3) == 1
+
+    def test_stats(self):
+        bus = SharedBus()
+        bus.request(0, 0, 4)
+        bus.request(1, 0, 4)
+        assert bus.stats.requests == 2
+        assert bus.stats.per_master_requests == {0: 1, 1: 1}
+        assert bus.stats.wait_cycles > 0
+        assert bus.stats.average_wait > 0
+        assert 0 < bus.stats.utilization(100) <= 1.0
+
+    def test_reset(self):
+        bus = SharedBus()
+        bus.request(0, 0, 4)
+        bus.reset()
+        assert bus.stats.requests == 0
+        assert bus.request(0, 0, 4) == bus.transfer_cycles
+
+
+def _make_simulator(iterations):
+    source = f"""
+        li t0, {iterations}
+        li t1, 0
+        li t2, 0x10000000
+    loop:
+        add t1, t1, t0
+        sw t1, 0(t2)
+        lw t3, 0(t2)
+        addi t0, t0, -1
+        bnez t0, loop
+        li a0, 0
+        li a7, 93
+        ecall
+    """
+    mem = Memory(DEFAULT_MEMORY_MAP())
+    fsim = FunctionalSimulator(mem)
+    fsim.load_program(assemble(source))
+    return fsim
+
+
+class TestMultiCoreSystem:
+    def test_single_core_system(self):
+        system = MultiCoreSystem([_make_simulator(50)])
+        result = system.run()
+        assert result.num_cores == 1
+        assert result.system_cycles == result.per_core[0].cycles
+        assert result.bus.requests == 0
+
+    def test_dual_core_runs_both_programs(self):
+        system = MultiCoreSystem([_make_simulator(50), _make_simulator(50)])
+        result = system.run()
+        assert result.num_cores == 2
+        assert all(c.instructions > 100 for c in result.per_core)
+        assert result.system_cycles == max(c.cycles for c in result.per_core)
+
+    def test_dual_core_of_half_work_is_faster(self):
+        single = MultiCoreSystem([_make_simulator(100)]).run()
+        dual = MultiCoreSystem([_make_simulator(50), _make_simulator(50)]).run()
+        speedup = dual.speedup_over(single)
+        assert 1.2 < speedup <= 2.2
+
+    def test_combined_counters_are_sums(self):
+        system = MultiCoreSystem([_make_simulator(30), _make_simulator(30)])
+        result = system.run()
+        assert result.combined.instructions == sum(c.instructions for c in result.per_core)
+
+    def test_bus_sees_traffic_with_shared_bus(self):
+        system = MultiCoreSystem([_make_simulator(30), _make_simulator(30)], shared_bus=True)
+        result = system.run()
+        assert result.bus.requests > 0
+
+    def test_private_ports_have_no_bus_traffic(self):
+        system = MultiCoreSystem([_make_simulator(30), _make_simulator(30)], shared_bus=False)
+        result = system.run()
+        assert result.bus.requests == 0
+
+    def test_from_builder(self):
+        system = MultiCoreSystem.from_builder(2, lambda cid, total: _make_simulator(20 + cid))
+        result = system.run()
+        assert result.num_cores == 2
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            MultiCoreSystem([])
+
+    def test_summary_keys(self):
+        result = MultiCoreSystem([_make_simulator(10)]).run()
+        summary = result.summary()
+        assert {"num_cores", "system_cycles", "execution_time_s", "ipc_mean"} <= set(summary)
+
+    def test_execution_time_uses_clock(self):
+        config = CoreConfig(clock_hz=30e6)
+        result = MultiCoreSystem([_make_simulator(10)], core_config=config).run()
+        assert result.execution_time_s == pytest.approx(result.system_cycles / 30e6)
+
+
+class TestPerfCounters:
+    def test_merge(self):
+        a = PerfCounters(cycles=100, instructions=60, regular_instructions=60)
+        b = PerfCounters(cycles=50, instructions=40, regular_instructions=40)
+        merged = a.merge(b)
+        assert merged.cycles == 150
+        assert merged.instructions == 100
+
+    def test_ipc_eff_with_neuron_updates(self):
+        c = PerfCounters(cycles=100, instructions=60, regular_instructions=40, neuron_updates=20)
+        assert c.ipc == pytest.approx(0.6)
+        assert c.ipc_eff == pytest.approx((40 + 20 * 19) / 100)
+        assert c.ipc_eff > 1.0
+
+    def test_zero_cycles_is_safe(self):
+        c = PerfCounters()
+        assert c.ipc == 0.0 and c.ipc_eff == 0.0 and c.hazard_stall_percent == 0.0
+
+    def test_as_dict(self):
+        c = PerfCounters(cycles=200, instructions=150, regular_instructions=150)
+        d = c.as_dict(clock_hz=1e6)
+        assert d["execution_time_s"] == pytest.approx(200 / 1e6)
+        assert d["ipc"] == pytest.approx(0.75)

@@ -1,0 +1,116 @@
+"""Tests for the cache timing model."""
+
+import pytest
+
+from repro.sim import Cache, CacheConfig, default_dcache_config, default_icache_config
+
+
+class TestConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=4096, line_bytes=16, associativity=2)
+        assert cfg.num_sets == 128
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=16, associativity=1)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=4096, line_bytes=24, associativity=1)
+
+    def test_defaults(self):
+        assert default_icache_config().associativity == 1
+        assert default_dcache_config().associativity == 2
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=16))
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+        assert cache.access(0x104) is True  # same line
+
+    def test_different_lines_miss(self):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=16))
+        cache.access(0x100)
+        assert cache.access(0x110) is False
+
+    def test_direct_mapped_conflict(self):
+        cache = Cache(CacheConfig(size_bytes=64, line_bytes=16, associativity=1))
+        cache.access(0x000)
+        cache.access(0x040)  # maps to the same set, evicts
+        assert cache.access(0x000) is False
+        assert cache.stats.evictions >= 1
+
+    def test_two_way_avoids_conflict(self):
+        cache = Cache(CacheConfig(size_bytes=128, line_bytes=16, associativity=2))
+        cache.access(0x000)
+        cache.access(0x040)
+        assert cache.access(0x000) is True
+
+    def test_lru_replacement(self):
+        cache = Cache(CacheConfig(size_bytes=32, line_bytes=16, associativity=2))
+        cache.access(0x00)   # A
+        cache.access(0x20)   # B (same set)
+        cache.access(0x00)   # touch A -> B is LRU
+        cache.access(0x40)   # C evicts B
+        assert cache.access(0x00) is True
+        assert cache.access(0x20) is False
+
+    def test_write_miss_does_not_allocate_by_default(self):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=16, write_allocate=False))
+        cache.access(0x200, is_write=True)
+        assert cache.access(0x200) is False
+
+    def test_write_allocate(self):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=16, write_allocate=True))
+        cache.access(0x200, is_write=True)
+        assert cache.access(0x200) is True
+
+    def test_access_cycles(self):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=16, miss_penalty=9))
+        assert cache.access_cycles(0x300) == 9
+        assert cache.access_cycles(0x300) == 0
+
+    def test_flush(self):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=16))
+        cache.access(0x100)
+        cache.flush()
+        assert cache.access(0x100) is False
+        assert cache.occupancy == 1
+
+    def test_stats(self):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=16))
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x0, is_write=True)
+        stats = cache.stats
+        assert stats.accesses == 3
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.read_accesses == 2
+        assert stats.write_accesses == 1
+        assert stats.hit_rate == pytest.approx(200 / 3)
+        assert stats.miss_rate == pytest.approx(100 / 3)
+
+    def test_empty_stats_hit_rate(self):
+        assert Cache().stats.hit_rate == 100.0
+
+    def test_stats_merge(self):
+        a = Cache(); b = Cache()
+        a.access(0x0); b.access(0x0); b.access(0x0)
+        merged = a.stats.merge(b.stats)
+        assert merged.accesses == 3
+        assert merged.hits == 1
+
+    def test_reset_stats(self):
+        cache = Cache()
+        cache.access(0x0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+    def test_high_hit_rate_on_loop_footprint(self):
+        """A small loop working set entirely fits -> near-perfect hit rate."""
+        cache = Cache(default_icache_config())
+        for _ in range(100):
+            for pc in range(0x0, 0x200, 4):
+                cache.access(pc)
+        assert cache.stats.hit_rate > 99.0

@@ -1,0 +1,154 @@
+"""Tests for the DCU (nmdec) shift-add decay unit, including Table II."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import Q15_16
+from repro.sim import DCU, NMConfig, SHIFT_SELECTIONS, approx_divide, approximation_error
+from repro.sim.dcu import approximation_error_table, approximation_factor
+
+
+class TestShiftSelections:
+    def test_all_dividers_covered(self):
+        assert set(SHIFT_SELECTIONS) == set(range(1, 10))
+
+    def test_exact_powers_of_two(self):
+        assert SHIFT_SELECTIONS[2] == (1,)
+        assert SHIFT_SELECTIONS[4] == (2,)
+        assert SHIFT_SELECTIONS[8] == (3,)
+
+    def test_paper_table2_combination_for_seven(self):
+        assert SHIFT_SELECTIONS[7] == (3, 6, 9)
+
+    def test_shift_factors_within_one_to_nine(self):
+        for divider, shifts in SHIFT_SELECTIONS.items():
+            if divider == 1:
+                continue
+            assert all(1 <= s <= 9 for s in shifts)
+
+
+class TestApproximationErrors:
+    @pytest.mark.parametrize(
+        "divider,expected",
+        [(2, 0.0), (3, 0.3906), (4, 0.0), (5, 0.3906), (7, 0.1953), (8, 0.0)],
+    )
+    def test_matches_paper_table2(self, divider, expected):
+        assert approximation_error(divider) == pytest.approx(expected, abs=1e-3)
+
+    def test_divider_six_recomputed(self):
+        # The paper prints 12.1093 % for /6, but its own shift selection
+        # yields about 0.39 % — we report the recomputed value.
+        assert approximation_error(6) == pytest.approx(0.3906, abs=1e-3)
+
+    def test_all_errors_below_half_percent(self):
+        for divider in range(2, 10):
+            assert approximation_error(divider) < 0.5
+
+    def test_eq7_example_value(self):
+        # Paper Eq. (7): x/7 approximated as 0.142578125.
+        assert approximation_factor(7) == pytest.approx(0.142578125, abs=1e-12)
+
+    def test_table_structure(self):
+        table = approximation_error_table()
+        assert set(table) == set(range(2, 9))
+        for row in table.values():
+            assert {"shifts", "approx_value", "exact_value", "approx_error_percent"} <= set(row)
+
+
+class TestApproxDivide:
+    def test_exact_for_power_of_two(self):
+        assert approx_divide(1 << 20, 4) == (1 << 20) >> 2
+
+    def test_close_to_true_division(self):
+        value = Q15_16.from_float(1000.0)
+        for divider in range(2, 10):
+            approx = approx_divide(value, divider)
+            assert approx == pytest.approx(value / divider, rel=0.01)
+
+    def test_vectorised(self):
+        values = np.array([1 << 16, 7 << 16, 100 << 16], dtype=np.int64)
+        out = approx_divide(values, 7)
+        assert out.shape == values.shape
+
+    def test_invalid_divider(self):
+        with pytest.raises(ValueError):
+            approx_divide(100, 10)
+        with pytest.raises(ValueError):
+            approx_divide(100, 0)
+
+
+class TestDCU:
+    def _dcu(self, *, fine=False):
+        cfg = NMConfig()
+        cfg.load_timestep(fine_timestep=fine)
+        return DCU(cfg)
+
+    def test_decay_reduces_magnitude(self):
+        dcu = self._dcu()
+        for value in (100.0, -100.0, 3.5):
+            decayed = dcu.decay_float(value, 4)
+            assert abs(decayed) < abs(value)
+            assert np.sign(decayed) == np.sign(value)
+
+    def test_zero_stays_zero(self):
+        assert self._dcu().decay_float(0.0, 3) == 0.0
+
+    def test_decay_factor_matches_formula(self):
+        dcu = self._dcu()
+        value = 1000.0
+        factor = dcu.effective_decay_factor(4)
+        assert dcu.decay_float(value, 4) == pytest.approx(value * factor, rel=1e-3)
+
+    def test_fine_timestep_decays_less(self):
+        coarse = self._dcu(fine=False).decay_float(1000.0, 2)
+        fine = self._dcu(fine=True).decay_float(1000.0, 2)
+        assert fine > coarse
+
+    def test_repeated_decay_converges_to_zero(self):
+        dcu = self._dcu()
+        raw = Q15_16.from_float(500.0)
+        for _ in range(2000):
+            raw = dcu.decay_raw(raw, 2)
+        assert abs(Q15_16.to_float(raw)) < 1.0
+
+    def test_execute_nmdec_word_interface(self):
+        dcu = self._dcu()
+        isyn_word = Q15_16.to_unsigned(Q15_16.from_float(-20.0))
+        out = dcu.execute_nmdec(5, isyn_word)
+        assert Q15_16.to_float(Q15_16.from_unsigned(out)) == pytest.approx(
+            dcu.decay_float(-20.0, 5), abs=1e-4
+        )
+
+    def test_invalid_tau_select(self):
+        with pytest.raises(ValueError):
+            self._dcu().decay_raw(100, 0)
+        with pytest.raises(ValueError):
+            self._dcu().decay_raw(100, 12)
+
+    def test_vectorised_decay(self):
+        dcu = self._dcu()
+        raw = np.asarray(Q15_16.from_float(np.array([10.0, -10.0, 0.0])), dtype=np.int64)
+        out = dcu.decay_raw(raw, 3)
+        assert out.shape == raw.shape
+        assert abs(out[0]) < raw[0]
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.floats(min_value=-2000, max_value=2000), st.integers(min_value=1, max_value=9))
+def test_decay_never_overshoots(value, tau):
+    """A decay step shrinks the (quantised) current and keeps its sign.
+
+    The comparison is made against the Q15.16-quantised input because the
+    DCU operates on the stored raw value; currents within a few LSBs of
+    zero may flip sign due to the floor behaviour of the arithmetic shift,
+    which is why the sign check applies only above that granularity.
+    """
+    cfg = NMConfig()
+    cfg.load_timestep()
+    dcu = DCU(cfg)
+    quantised = Q15_16.to_float(Q15_16.from_float(value))
+    decayed = dcu.decay_float(quantised, tau)
+    assert abs(decayed) <= abs(quantised) + 4 * Q15_16.resolution
+    if abs(quantised) > 0.01:
+        assert np.sign(decayed) == np.sign(quantised) or decayed == 0.0

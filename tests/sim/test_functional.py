@@ -1,0 +1,340 @@
+"""Tests for the functional instruction-set simulator."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import DEFAULT_MEMORY_MAP, FunctionalSimulator, Memory, MMIO_HALT, SimulationError
+
+
+def run_program(source, *, max_instructions=100_000, origin=0):
+    mem = Memory(DEFAULT_MEMORY_MAP())
+    fsim = FunctionalSimulator(mem)
+    fsim.load_program(assemble(source, origin=origin))
+    fsim.run(max_instructions=max_instructions)
+    return fsim
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        fsim = run_program("""
+            li a0, 40
+            li a1, 2
+            add a2, a0, a1
+            sub a3, a0, a1
+            ebreak
+        """)
+        assert fsim.read_reg(12) == 42
+        assert fsim.read_reg(13) == 38
+
+    def test_signed_comparison(self):
+        fsim = run_program("""
+            li a0, -5
+            li a1, 3
+            slt a2, a0, a1
+            sltu a3, a0, a1
+            ebreak
+        """)
+        assert fsim.read_reg(12) == 1
+        assert fsim.read_reg(13) == 0  # -5 as unsigned is huge
+
+    def test_shifts(self):
+        fsim = run_program("""
+            li a0, -16
+            srai a1, a0, 2
+            srli a2, a0, 2
+            slli a3, a0, 1
+            ebreak
+        """)
+        assert fsim.read_reg_signed(11) == -4
+        assert fsim.read_reg(12) == (0xFFFFFFF0 >> 2)
+        assert fsim.read_reg_signed(13) == -32
+
+    def test_logic_ops(self):
+        fsim = run_program("""
+            li a0, 0xF0F0
+            li a1, 0x0FF0
+            and a2, a0, a1
+            or  a3, a0, a1
+            xor a4, a0, a1
+            andi a5, a0, 0xF0
+            ebreak
+        """)
+        assert fsim.read_reg(12) == 0x00F0
+        assert fsim.read_reg(13) == 0xFFF0
+        assert fsim.read_reg(14) == 0xFF00
+        assert fsim.read_reg(15) == 0xF0
+
+    def test_lui_auipc(self):
+        fsim = run_program("""
+            lui a0, 0x12345
+            auipc a1, 0x1
+            ebreak
+        """)
+        assert fsim.read_reg(10) == 0x12345000
+        assert fsim.read_reg(11) == 0x1000 + 4  # pc of auipc is 4
+
+    def test_x0_is_hardwired_zero(self):
+        fsim = run_program("""
+            li t0, 99
+            add x0, t0, t0
+            ebreak
+        """)
+        assert fsim.read_reg(0) == 0
+
+
+class TestMultiplyDivide:
+    def test_mul(self):
+        fsim = run_program("li a0, -7\nli a1, 6\nmul a2, a0, a1\nebreak")
+        assert fsim.read_reg_signed(12) == -42
+
+    def test_mulh_variants(self):
+        fsim = run_program("""
+            li a0, 0x40000000
+            li a1, 4
+            mulh a2, a0, a1
+            mulhu a3, a0, a1
+            ebreak
+        """)
+        assert fsim.read_reg(12) == 1
+        assert fsim.read_reg(13) == 1
+
+    def test_div_rem(self):
+        fsim = run_program("""
+            li a0, -43
+            li a1, 5
+            div a2, a0, a1
+            rem a3, a0, a1
+            divu a4, a0, a1
+            ebreak
+        """)
+        assert fsim.read_reg_signed(12) == -8  # rounds toward zero
+        assert fsim.read_reg_signed(13) == -3
+        assert fsim.read_reg(14) == (0xFFFFFFFF - 42) // 5
+
+    def test_divide_by_zero_semantics(self):
+        fsim = run_program("""
+            li a0, 17
+            li a1, 0
+            div a2, a0, a1
+            rem a3, a0, a1
+            ebreak
+        """)
+        assert fsim.read_reg(12) == 0xFFFFFFFF
+        assert fsim.read_reg(13) == 17
+
+
+class TestControlFlow:
+    def test_loop_sum(self):
+        fsim = run_program("""
+            li t0, 10
+            li t1, 0
+        loop:
+            add t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+        """)
+        assert fsim.read_reg(6) == 55
+
+    def test_function_call(self):
+        fsim = run_program("""
+            li a0, 5
+            call double
+            ebreak
+        double:
+            add a0, a0, a0
+            ret
+        """)
+        assert fsim.read_reg(10) == 10
+
+    def test_branch_variants(self):
+        fsim = run_program("""
+            li a0, 3
+            li a1, 7
+            li a2, 0
+            bge a0, a1, skip
+            addi a2, a2, 1
+        skip:
+            blt a0, a1, take
+            addi a2, a2, 100
+        take:
+            bltu a1, a0, never
+            addi a2, a2, 10
+        never:
+            ebreak
+        """)
+        assert fsim.read_reg(12) == 11
+
+    def test_jalr_returns(self):
+        fsim = run_program("""
+            la t0, target
+            jalr ra, 0(t0)
+            ebreak
+        target:
+            li a0, 77
+            jr ra
+        """)
+        assert fsim.read_reg(10) == 77
+
+
+class TestMemoryInstructions:
+    def test_word_store_load(self):
+        fsim = run_program("""
+            li t0, 0x10000000
+            li t1, 0x12345678
+            sw t1, 0(t0)
+            lw t2, 0(t0)
+            ebreak
+        """)
+        assert fsim.read_reg(7) == 0x12345678
+
+    def test_byte_and_half_sign_extension(self):
+        fsim = run_program("""
+            li t0, 0x10000000
+            li t1, 0xFFFF8880
+            sw t1, 0(t0)
+            lb t2, 0(t0)
+            lbu t3, 0(t0)
+            lh t4, 0(t0)
+            lhu t5, 0(t0)
+            ebreak
+        """)
+        assert fsim.read_reg_signed(7) == -128
+        assert fsim.read_reg(28) == 0x80
+        assert fsim.read_reg_signed(29) == -30592
+        assert fsim.read_reg(30) == 0x8880
+
+
+class TestEnvironment:
+    def test_exit_syscall(self):
+        fsim = run_program("""
+            li a0, 3
+            li a7, 93
+            ecall
+        """)
+        assert fsim.halted and fsim.exit_code == 3
+
+    def test_write_syscall(self):
+        fsim = run_program("""
+            li t0, 0x10000000
+            li t1, 'H'
+            sb t1, 0(t0)
+            li t1, 'i'
+            sb t1, 1(t0)
+            li a0, 1
+            li a1, 0x10000000
+            li a2, 2
+            li a7, 64
+            ecall
+            ebreak
+        """)
+        assert fsim.stdout_text == "Hi"
+
+    def test_mmio_halt(self):
+        fsim = run_program(f"""
+            li t0, {MMIO_HALT}
+            li t1, 9
+            sw t1, 0(t0)
+        """)
+        assert fsim.halted and fsim.exit_code == 9
+
+    def test_mmio_print_int(self):
+        from repro.sim import MMIO_PRINT_INT
+
+        fsim = run_program(f"""
+            li t0, {MMIO_PRINT_INT}
+            li t1, -12
+            sw t1, 0(t0)
+            ebreak
+        """)
+        assert fsim.debug_values == [-12]
+
+    def test_csr_read_write(self):
+        fsim = run_program("""
+            li t0, 55
+            csrrw x0, 0x340, t0
+            csrrs t1, 0x340, x0
+            ebreak
+        """)
+        assert fsim.read_reg(6) == 55
+
+    def test_instruction_budget_enforced(self):
+        mem = Memory(DEFAULT_MEMORY_MAP())
+        fsim = FunctionalSimulator(mem)
+        fsim.load_program(assemble("loop: j loop"))
+        with pytest.raises(SimulationError):
+            fsim.run(max_instructions=100)
+
+    def test_step_after_halt_raises(self):
+        fsim = run_program("ebreak")
+        with pytest.raises(SimulationError):
+            fsim.step()
+
+
+class TestNeuromorphicInstructions:
+    def test_full_neuron_update_sequence(self):
+        from repro.fixedpoint import pack_vu_float, unpack_vu_float, Q15_16
+        from repro.isa import IzhikevichParams, pack_nmldl_operands
+
+        rs1, rs2 = pack_nmldl_operands(IzhikevichParams.regular_spiking())
+        vu = pack_vu_float(-60.0, -12.0)
+        isyn = Q15_16.to_unsigned(Q15_16.from_float(8.0))
+        fsim = run_program(f"""
+            li a6, {rs1}
+            li a7, {rs2}
+            nmldl x0, a6, a7
+            li t0, 0
+            nmldh x0, t0, x0
+            li a0, {vu}
+            li a1, {isyn}
+            li a2, 0x10000100
+            nmpn a2, a0, a1
+            li t1, 4
+            nmdec a3, t1, a1
+            ebreak
+        """)
+        # The VU word was stored at the address held in a2.
+        stored = fsim.memory.load_word(0x10000100)
+        v, u = unpack_vu_float(stored)
+        assert -70.0 < v < 30.0
+        assert fsim.read_reg(12) in (0, 1)  # spike flag written to a2
+        # nmdec result is smaller in magnitude than the input current.
+        from repro.isa import unpack_isyn
+
+        assert 0 < unpack_isyn(fsim.read_reg(13)) < 8.0
+
+    def test_nmpn_matches_python_npu(self):
+        from repro.fixedpoint import pack_vu_float, Q15_16
+        from repro.isa import IzhikevichParams, pack_nmldl_operands
+        from repro.sim import NMConfig, NPU
+
+        rs1, rs2 = pack_nmldl_operands(IzhikevichParams.fast_spiking())
+        vu = pack_vu_float(-55.0, -10.0)
+        isyn = Q15_16.to_unsigned(Q15_16.from_float(12.0))
+        fsim = run_program(f"""
+            li a6, {rs1}
+            li a7, {rs2}
+            nmldl x0, a6, a7
+            li t0, 0
+            nmldh x0, t0, x0
+            li a0, {vu}
+            li a1, {isyn}
+            li a2, 0x10000200
+            nmpn a2, a0, a1
+            ebreak
+        """)
+        cfg = NMConfig.from_words(rs1, rs2, 0)
+        expected_word, expected_spike = NPU(cfg).execute_nmpn(vu, isyn)
+        assert fsim.memory.load_word(0x10000200) == expected_word
+        assert fsim.read_reg(12) == expected_spike
+
+    def test_nmldl_sets_done_flag(self):
+        fsim = run_program("""
+            li a6, 0
+            li a7, 0
+            nmldl a5, a6, a7
+            nmldh a4, x0, x0
+            ebreak
+        """)
+        assert fsim.read_reg(15) == 1
+        assert fsim.read_reg(14) == 1

@@ -1,0 +1,217 @@
+"""Tests for the NPU (nmpn) fixed-point Izhikevich update unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import Q7_8, Q15_16, pack_vu_float, unpack_vu_float
+from repro.isa import IzhikevichParams, pack_nmldh_operand, pack_nmldl_operands
+from repro.sim import NMConfig, NPU, izhikevich_update_raw
+
+
+@pytest.fixture
+def rs_config():
+    cfg = NMConfig()
+    cfg.load_params(IzhikevichParams.regular_spiking())
+    cfg.load_timestep(fine_timestep=False, pin_voltage=False)
+    return cfg
+
+
+class TestNMConfig:
+    def test_load_params_words_matches_direct_load(self):
+        params = IzhikevichParams(0.02, 0.2, -65.0, 8.0)
+        rs1, rs2 = pack_nmldl_operands(params)
+        via_words = NMConfig()
+        via_words.load_params_words(rs1, rs2)
+        direct = NMConfig()
+        direct.load_params(params)
+        assert (via_words.a_raw, via_words.b_raw, via_words.c_raw, via_words.d_raw) == (
+            direct.a_raw,
+            direct.b_raw,
+            direct.c_raw,
+            direct.d_raw,
+        )
+
+    def test_timestep_selection(self):
+        cfg = NMConfig()
+        cfg.load_timestep_word(pack_nmldh_operand(fine_timestep=False, pin_voltage=False))
+        assert cfg.timestep_ms == 0.5 and cfg.h_shift == 1
+        cfg.load_timestep_word(pack_nmldh_operand(fine_timestep=True, pin_voltage=True))
+        assert cfg.timestep_ms == 0.125 and cfg.h_shift == 3 and cfg.pin_voltage
+
+    def test_params_roundtrip_view(self, rs_config):
+        p = rs_config.params
+        assert p.a == pytest.approx(0.02, abs=1e-3)
+        assert p.c == pytest.approx(-65.0, abs=1e-2)
+
+    def test_from_words(self):
+        rs1, rs2 = pack_nmldl_operands(IzhikevichParams.fast_spiking())
+        cfg = NMConfig.from_words(rs1, rs2, pack_nmldh_operand(fine_timestep=True, pin_voltage=False))
+        assert cfg.params_loaded and cfg.timestep_loaded
+        assert cfg.h_shift == 3
+
+
+class TestSingleNeuronDynamics:
+    def test_resting_neuron_stays_at_rest(self, rs_config):
+        npu = NPU(rs_config)
+        v, u = -65.0, -13.0
+        for _ in range(200):
+            v, u, spike = npu.update_float(v, u, 0.0)
+            assert not spike
+        # The RS neuron settles at its resting equilibrium (v* ≈ -70 mV).
+        assert -75.0 < v < -60.0
+
+    def test_constant_current_produces_tonic_spiking(self, rs_config):
+        npu = NPU(rs_config)
+        v, u = -65.0, -13.0
+        spikes = 0
+        for _ in range(2000):  # 1000 ms at 0.5 ms steps
+            v, u, s = npu.update_float(v, u, 10.0)
+            spikes += s
+        assert 5 <= spikes <= 120  # tonic firing in a plausible range
+
+    def test_stronger_current_fires_more(self, rs_config):
+        npu = NPU(rs_config)
+
+        def count(i_syn):
+            v, u, spikes = -65.0, -13.0, 0
+            for _ in range(2000):
+                v, u, s = npu.update_float(v, u, i_syn)
+                spikes += s
+            return spikes
+
+        assert count(20.0) > count(6.0)
+
+    def test_spike_resets_to_c(self, rs_config):
+        npu = NPU(rs_config)
+        # Drive hard so a spike happens quickly, then check the reset value.
+        v, u = -50.0, -13.0
+        for _ in range(500):
+            v_prev = v
+            v, u, spike = npu.update_float(v, u, 30.0)
+            if spike:
+                assert v == pytest.approx(-65.0, abs=0.01)
+                return
+        pytest.fail("neuron never spiked under strong drive")
+
+    def test_spike_increments_u_by_d(self, rs_config):
+        npu = NPU(rs_config)
+        v, u = -50.0, -13.0
+        for _ in range(500):
+            u_prev = u
+            v, u, spike = npu.update_float(v, u, 30.0)
+            if spike:
+                assert u > u_prev  # d = 8 added (plus the Euler term)
+                return
+        pytest.fail("neuron never spiked under strong drive")
+
+    def test_pin_voltage_caps_at_reset(self):
+        cfg = NMConfig()
+        cfg.load_params(IzhikevichParams.fast_spiking())
+        cfg.load_timestep(fine_timestep=False, pin_voltage=True)
+        npu = NPU(cfg)
+        v, u = -65.0, -13.0
+        for _ in range(300):
+            v, u, _ = npu.update_float(v, u, -40.0)  # strong inhibition
+            assert v >= -65.0 - 0.01
+
+    def test_without_pin_voltage_can_go_below_reset(self):
+        cfg = NMConfig()
+        cfg.load_params(IzhikevichParams.fast_spiking())
+        cfg.load_timestep(fine_timestep=False, pin_voltage=False)
+        npu = NPU(cfg)
+        v, u = -65.0, -13.0
+        values = []
+        for _ in range(300):
+            v, u, _ = npu.update_float(v, u, -40.0)
+            values.append(v)
+        assert min(values) < -65.5
+
+    def test_fine_timestep_changes_trajectory(self):
+        coarse = NMConfig()
+        coarse.load_params(IzhikevichParams.regular_spiking())
+        coarse.load_timestep(fine_timestep=False)
+        fine = NMConfig()
+        fine.load_params(IzhikevichParams.regular_spiking())
+        fine.load_timestep(fine_timestep=True)
+        vc, uc, _ = NPU(coarse).update_float(-60.0, -13.0, 10.0)
+        vf, uf, _ = NPU(fine).update_float(-60.0, -13.0, 10.0)
+        # The fine step moves a quarter as far per call.
+        assert abs(vf + 60.0) < abs(vc + 60.0)
+
+
+class TestInstructionInterface:
+    def test_execute_nmpn_matches_update_raw(self, rs_config):
+        npu = NPU(rs_config)
+        vu_word = pack_vu_float(-60.0, -12.0)
+        isyn_word = Q15_16.to_unsigned(Q15_16.from_float(7.5))
+        new_word, spike = npu.execute_nmpn(vu_word, isyn_word)
+        v, u = unpack_vu_float(new_word)
+        v2, u2, s2 = npu.update_float(-60.0, -12.0, 7.5)
+        assert v == pytest.approx(v2, abs=1e-9)
+        assert u == pytest.approx(u2, abs=1e-9)
+        assert spike == int(s2)
+
+    def test_spike_flag_is_zero_or_one(self, rs_config):
+        npu = NPU(rs_config)
+        _, spike = npu.execute_nmpn(pack_vu_float(-65.0, -13.0), 0)
+        assert spike in (0, 1)
+
+
+class TestVectorisedPath:
+    def test_array_matches_scalar(self, rs_config):
+        npu = NPU(rs_config)
+        v = np.asarray(Q7_8.from_float(np.array([-65.0, -60.0, -55.0, 20.0])))
+        u = np.asarray(Q7_8.from_float(np.array([-13.0, -12.0, -11.0, -5.0])))
+        i = np.asarray(Q15_16.from_float(np.array([0.0, 5.0, 10.0, 15.0])))
+        v_vec, u_vec, s_vec = npu.update_raw(v, u, i)
+        for k in range(4):
+            v_s, u_s, s_s = npu.update_raw(int(v[k]), int(u[k]), int(i[k]))
+            assert v_vec[k] == v_s
+            assert u_vec[k] == u_s
+            assert s_vec[k] == s_s
+
+    def test_per_neuron_parameters(self, rs_config):
+        # izhikevich_update_raw accepts per-neuron parameter arrays.
+        v = np.asarray(Q7_8.from_float(np.array([-65.0, -65.0])))
+        u = np.asarray(Q7_8.from_float(np.array([-10.0, -10.0])))
+        i = np.asarray(Q15_16.from_float(np.array([10.0, 10.0])))
+        from repro.fixedpoint import Q4_11
+
+        a = np.asarray(Q4_11.from_float(np.array([0.02, 0.1])))
+        b = np.asarray(Q4_11.from_float(np.array([0.2, 0.2])))
+        c = np.asarray(Q7_8.from_float(np.array([-65.0, -65.0])))
+        d = np.asarray(Q4_11.from_float(np.array([8.0, 2.0])))
+        v2, u2, _ = izhikevich_update_raw(v, u, i, a_raw=a, b_raw=b, c_raw=c, d_raw=d, h_shift=1)
+        # Different `a` parameters must give different recovery updates.
+        assert u2[0] != u2[1]
+
+
+class TestInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.floats(min_value=-90.0, max_value=29.0),
+        st.floats(min_value=-25.0, max_value=25.0),
+        st.floats(min_value=-50.0, max_value=50.0),
+    )
+    def test_output_always_in_q78_range(self, v, u, isyn):
+        cfg = NMConfig()
+        cfg.load_params(IzhikevichParams.regular_spiking())
+        cfg.load_timestep()
+        v_raw, u_raw, spike = NPU(cfg).update_raw(
+            Q7_8.from_float(v), Q7_8.from_float(u), Q15_16.from_float(isyn)
+        )
+        assert Q7_8.raw_min <= v_raw <= Q7_8.raw_max
+        assert Q7_8.raw_min <= u_raw <= Q7_8.raw_max
+        assert spike in (0, 1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=-90.0, max_value=25.0), st.floats(min_value=-20.0, max_value=20.0))
+    def test_determinism(self, v, u):
+        cfg = NMConfig()
+        cfg.load_params(IzhikevichParams.regular_spiking())
+        cfg.load_timestep()
+        npu = NPU(cfg)
+        first = npu.update_raw(Q7_8.from_float(v), Q7_8.from_float(u), Q15_16.from_float(5.0))
+        second = npu.update_raw(Q7_8.from_float(v), Q7_8.from_float(u), Q15_16.from_float(5.0))
+        assert first == second

@@ -1,0 +1,190 @@
+"""Tests for the cycle-level 3-stage pipeline model."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim import (
+    CacheConfig,
+    CoreConfig,
+    CycleAccurateCore,
+    DEFAULT_MEMORY_MAP,
+    FunctionalSimulator,
+    HAZARD_EX_PRODUCER,
+    HAZARD_LOAD_USE,
+    Memory,
+)
+
+
+def make_core(source, *, config=None, origin=0):
+    mem = Memory(DEFAULT_MEMORY_MAP())
+    fsim = FunctionalSimulator(mem)
+    fsim.load_program(assemble(source, origin=origin))
+    return CycleAccurateCore(fsim, config)
+
+
+def perfect_cache_config(**kwargs):
+    """A configuration where cache misses cost nothing (isolates other stalls)."""
+    fast = CacheConfig(size_bytes=4096, line_bytes=16, associativity=1, miss_penalty=0)
+    return CoreConfig(icache=fast, dcache=fast, **kwargs)
+
+
+LONG_INDEPENDENT = "\n".join(f"    addi x{5 + (i % 3)}, x0, {i % 100}" for i in range(200)) + "\nebreak\n"
+
+
+class TestBasicTiming:
+    def test_counts_instructions(self):
+        core = make_core("li a0, 1\nli a1, 2\nadd a2, a0, a1\nebreak")
+        counters = core.run()
+        assert counters.instructions == 6  # 2 x li (2 words each) + add + ebreak
+
+    def test_ipc_approaches_one_for_independent_alu(self):
+        core = make_core(LONG_INDEPENDENT, config=perfect_cache_config())
+        counters = core.run()
+        assert counters.ipc > 0.9
+
+    def test_cycles_at_least_instructions(self):
+        core = make_core(LONG_INDEPENDENT)
+        counters = core.run()
+        assert counters.cycles >= counters.instructions
+
+    def test_architectural_result_matches_functional(self):
+        source = """
+            li t0, 10
+            li t1, 0
+        loop:
+            add t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+        """
+        core = make_core(source)
+        core.run()
+        assert core.fsim.read_reg(6) == 55
+
+    def test_cycle_budget_enforced(self):
+        core = make_core("loop: j loop")
+        with pytest.raises(RuntimeError):
+            core.run(max_cycles=500)
+
+
+class TestStallAccounting:
+    def test_taken_branches_cost_flush_cycles(self):
+        source = """
+            li t0, 50
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+        """
+        core = make_core(source, config=perfect_cache_config())
+        counters = core.run()
+        assert counters.branch_flush_cycles >= 49
+
+    def test_load_use_hazard_stalls(self):
+        dependent = """
+            li t0, 0x10000000
+            li t1, 42
+            sw t1, 0(t0)
+        """ + "\n".join("    lw t2, 0(t0)\n    addi t3, t2, 1" for _ in range(20)) + "\nebreak"
+        core = make_core(dependent, config=perfect_cache_config(hazard_policy=HAZARD_LOAD_USE))
+        counters = core.run()
+        assert counters.hazard_stall_cycles >= 20
+
+    def test_independent_loads_do_not_stall(self):
+        independent = """
+            li t0, 0x10000000
+            li t1, 42
+            sw t1, 0(t0)
+        """ + "\n".join("    lw t2, 0(t0)\n    addi t3, t4, 1" for _ in range(20)) + "\nebreak"
+        core = make_core(independent, config=perfect_cache_config(hazard_policy=HAZARD_LOAD_USE))
+        counters = core.run()
+        assert counters.hazard_stall_cycles == 0
+
+    def test_ex_producer_policy_stalls_more(self):
+        chained = "li t0, 1\n" + "\n".join("    addi t0, t0, 1" for _ in range(50)) + "\nebreak"
+        relaxed = make_core(chained, config=perfect_cache_config(hazard_policy=HAZARD_LOAD_USE)).run()
+        strict = make_core(chained, config=perfect_cache_config(hazard_policy=HAZARD_EX_PRODUCER)).run()
+        assert strict.hazard_stall_cycles > relaxed.hazard_stall_cycles
+        assert strict.cycles > relaxed.cycles
+
+    def test_div_takes_multiple_cycles(self):
+        source = "li a0, 100\nli a1, 7\ndiv a2, a0, a1\nebreak"
+        fast = make_core(source, config=perfect_cache_config(div_cycles=1)).run()
+        slow = make_core(source, config=perfect_cache_config(div_cycles=16)).run()
+        assert slow.cycles > fast.cycles
+        assert slow.multicycle_stall_cycles >= 15
+
+    def test_icache_miss_penalty_visible(self):
+        cheap = perfect_cache_config()
+        pricey = CoreConfig(
+            icache=CacheConfig(size_bytes=4096, line_bytes=16, miss_penalty=30),
+            dcache=CacheConfig(size_bytes=4096, line_bytes=16, miss_penalty=0),
+        )
+        a = make_core(LONG_INDEPENDENT, config=cheap).run()
+        b = make_core(LONG_INDEPENDENT, config=pricey).run()
+        assert b.icache_stall_cycles > a.icache_stall_cycles
+        assert b.cycles > a.cycles
+
+
+class TestCounters:
+    def test_memory_accesses_counted(self):
+        source = """
+            li t0, 0x10000000
+            li t1, 7
+            sw t1, 0(t0)
+            lw t2, 0(t0)
+            lw t3, 4(t0)
+            ebreak
+        """
+        counters = make_core(source).run()
+        assert counters.loads == 2
+        assert counters.stores == 1
+        assert counters.memory_accesses == 3
+        assert counters.memory_intensity == pytest.approx(300 / counters.instructions, rel=1e-6)
+
+    def test_neuromorphic_instructions_counted(self):
+        from repro.isa import IzhikevichParams, pack_nmldl_operands
+
+        rs1, rs2 = pack_nmldl_operands(IzhikevichParams.regular_spiking())
+        source = f"""
+            li a6, {rs1}
+            li a7, {rs2}
+            nmldl x0, a6, a7
+            nmldh x0, x0, x0
+            li a0, 0
+            li a1, 0
+            li a2, 0x10000000
+            nmpn a2, a0, a1
+            li t1, 4
+            nmdec a3, t1, a1
+            ebreak
+        """
+        counters = make_core(source).run()
+        assert counters.neuron_updates == 1
+        assert counters.decay_operations == 1
+        assert counters.ipc_eff > counters.ipc  # the update is credited with 19 ops
+
+    def test_cache_stats_attached_after_run(self):
+        counters = make_core(LONG_INDEPENDENT).run()
+        assert counters.icache.accesses > 0
+        # Straight-line code hits 3 out of 4 accesses on a 16-byte line.
+        assert counters.icache.hit_rate > 70.0
+
+    def test_looping_code_has_high_icache_hit_rate(self):
+        source = """
+            li t0, 500
+        loop:
+            addi t1, t1, 1
+            addi t2, t2, 2
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+        """
+        counters = make_core(source).run()
+        assert counters.icache.hit_rate > 99.0
+
+    def test_hazard_percent_derived(self):
+        counters = make_core(LONG_INDEPENDENT, config=perfect_cache_config()).run()
+        assert counters.hazard_stall_percent == pytest.approx(
+            100.0 * counters.hazard_stall_cycles / counters.cycles
+        )

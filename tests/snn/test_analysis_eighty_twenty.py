@@ -1,0 +1,142 @@
+"""Tests for spike analysis utilities and the 80-20 network builder."""
+
+import numpy as np
+import pytest
+
+from repro.snn import (
+    EightyTwentyConfig,
+    SpikeRaster,
+    band_power,
+    build_eighty_twenty,
+    histogram_similarity,
+    interspike_intervals,
+    isi_histogram,
+    population_rate,
+    render_ascii_raster,
+    rhythm_summary,
+    run_eighty_twenty,
+)
+
+
+class TestSpikeRaster:
+    def test_from_bool_matrix(self):
+        fired = np.zeros((10, 4), dtype=bool)
+        fired[2, 1] = fired[5, 1] = fired[7, 3] = True
+        raster = SpikeRaster.from_bool_matrix(fired)
+        assert raster.num_spikes == 3
+        np.testing.assert_array_equal(raster.spikes_of(1), [2, 5])
+        np.testing.assert_array_equal(raster.to_bool_matrix(), fired)
+
+    def test_from_events(self):
+        raster = SpikeRaster.from_events([(1, 0), (3, 2)], num_neurons=4, num_steps=10)
+        assert raster.num_spikes == 2
+
+    def test_empty(self):
+        raster = SpikeRaster.empty(5, 100)
+        assert raster.num_spikes == 0
+        assert raster.mean_rate_hz() == 0.0
+
+    def test_mean_rate(self):
+        fired = np.zeros((1000, 2), dtype=bool)
+        fired[::100, 0] = True  # 10 spikes over 1 s for neuron 0
+        raster = SpikeRaster.from_bool_matrix(fired)
+        assert raster.mean_rate_hz() == pytest.approx(5.0)  # averaged over 2 neurons
+
+    def test_restrict_neurons(self):
+        fired = np.zeros((10, 6), dtype=bool)
+        fired[0, 0] = fired[1, 5] = True
+        sub = SpikeRaster.from_bool_matrix(fired).restrict_neurons(slice(4, 6))
+        assert sub.num_neurons == 2
+        assert sub.num_spikes == 1
+        assert sub.neuron_ids[0] == 1
+
+
+class TestISI:
+    def test_intervals(self):
+        raster = SpikeRaster.from_events(
+            [(0, 0), (10, 0), (25, 0), (5, 1), (6, 1)], num_neurons=2, num_steps=30
+        )
+        intervals = np.sort(interspike_intervals(raster))
+        np.testing.assert_array_equal(intervals, [1, 10, 15])
+
+    def test_histogram_binning(self):
+        raster = SpikeRaster.from_events([(0, 0), (12, 0), (24, 0)], num_neurons=1, num_steps=40)
+        edges, counts = isi_histogram(raster, bin_width=5.0, max_interval=50.0)
+        assert counts.sum() == 2
+        assert counts[2] == 2  # both intervals are 12 -> bin [10, 15)
+
+    def test_similarity_bounds(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert histogram_similarity(a, a) == pytest.approx(1.0)
+        assert histogram_similarity(a, np.array([3.0, 2.0, 1.0])) < 1.0
+        assert histogram_similarity(np.zeros(3), np.zeros(3)) == 1.0
+        with pytest.raises(ValueError):
+            histogram_similarity(a, np.zeros(4))
+
+
+class TestRhythms:
+    def test_population_rate(self):
+        raster = SpikeRaster.from_events([(0, 0), (0, 1), (3, 0)], num_neurons=2, num_steps=5)
+        np.testing.assert_array_equal(population_rate(raster), [2, 0, 0, 1, 0])
+
+    def test_band_power_detects_oscillation(self):
+        t = np.arange(2000)
+        signal_10hz = np.sin(2 * np.pi * 10.0 * t / 1000.0)
+        alpha = band_power(signal_10hz, low_hz=8.0, high_hz=12.0)
+        gamma = band_power(signal_10hz, low_hz=30.0, high_hz=80.0)
+        assert alpha > 100 * max(gamma, 1e-12)
+
+    def test_rhythm_summary_keys(self):
+        raster = SpikeRaster.from_events([(i, i % 3) for i in range(0, 500, 7)], num_neurons=3, num_steps=500)
+        summary = rhythm_summary(raster)
+        assert {"alpha_power", "gamma_power", "alpha_fraction", "gamma_fraction", "mean_rate_hz"} <= set(summary)
+
+
+class TestAsciiRaster:
+    def test_dimensions_and_marks(self):
+        fired = np.zeros((50, 20), dtype=bool)
+        fired[10, 5] = True
+        art = render_ascii_raster(SpikeRaster.from_bool_matrix(fired), max_rows=10, max_cols=25)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert any("|" in line for line in lines)
+
+    def test_empty_raster(self):
+        art = render_ascii_raster(SpikeRaster.empty(10, 10), max_rows=5, max_cols=5)
+        assert set("".join(art.splitlines())) == {"."}
+
+
+class TestEightyTwenty:
+    def test_builder_shapes(self):
+        net = build_eighty_twenty(EightyTwentyConfig(num_excitatory=40, num_inhibitory=10, seed=1))
+        assert net.num_neurons == 50
+        assert net.weights.shape == (50, 50)
+        # Excitatory columns are non-negative, inhibitory ones non-positive.
+        assert (net.weights[:, :40] >= 0).all()
+        assert (net.weights[:, 40:] <= 0).all()
+
+    def test_parameter_distributions(self):
+        net = build_eighty_twenty(EightyTwentyConfig(num_excitatory=80, num_inhibitory=20, seed=2))
+        assert np.all(net.a[:80] == 0.02)
+        assert np.all(net.c[:80] >= -65.0) and np.all(net.c[:80] <= -50.0)
+        assert np.all(net.d[80:] == 2.0)
+
+    def test_thalamic_input_statistics(self):
+        net = build_eighty_twenty(EightyTwentyConfig(num_excitatory=400, num_inhibitory=100, seed=3))
+        sample = np.stack([net.thalamic_input(t) for t in range(50)])
+        assert sample[:, :400].std() > sample[:, 400:].std()
+
+    def test_run_small_network_both_backends(self):
+        cfg = EightyTwentyConfig(num_excitatory=40, num_inhibitory=10, seed=7)
+        raster_float, summary_float = run_eighty_twenty(num_steps=150, backend="float64", config=cfg)
+        raster_fixed, summary_fixed = run_eighty_twenty(num_steps=150, backend="fixed", config=cfg)
+        assert raster_float.num_spikes > 0
+        assert raster_fixed.num_spikes > 0
+        assert summary_float["backend"] == "float64"
+        # Firing rates agree within a factor of ~3 between the backends.
+        ratio = (raster_fixed.mean_rate_hz() + 1e-9) / (raster_float.mean_rate_hz() + 1e-9)
+        assert 0.3 < ratio < 3.0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_eighty_twenty(num_steps=10, backend="quantum")

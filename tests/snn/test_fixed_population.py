@@ -1,0 +1,79 @@
+"""Tests for the fixed-point population (bit-exact with the NPU)."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import Q7_8, Q15_16
+from repro.isa import IzhikevichParams
+from repro.sim import NMConfig, NPU
+from repro.snn import FixedPointPopulation, decay_current_raw
+
+
+class TestConstruction:
+    def test_from_float_parameters(self):
+        pop = FixedPointPopulation.from_float_parameters([0.02], [0.2], [-65.0], [8.0])
+        assert pop.size == 1
+        assert pop.v[0] == pytest.approx(-65.0, abs=Q7_8.resolution)
+        assert pop.u[0] == pytest.approx(-13.0, abs=0.1)
+        assert pop.substeps_per_ms == 2
+
+    def test_fine_timestep_substeps(self):
+        pop = FixedPointPopulation.from_float_parameters([0.02], [0.2], [-65.0], [8.0], h_shift=3)
+        assert pop.substeps_per_ms == 8
+
+
+class TestEquivalenceWithNPU:
+    def test_population_matches_scalar_npu(self):
+        """Stepping the population equals stepping each neuron on the NPU."""
+        params = IzhikevichParams.regular_spiking()
+        pop = FixedPointPopulation.from_float_parameters(
+            [params.a] * 3, [params.b] * 3, [params.c] * 3, [params.d] * 3
+        )
+        cfg = NMConfig()
+        cfg.load_params(params)
+        cfg.load_timestep()
+        npu = NPU(cfg)
+
+        v_ref = list(pop.v_raw)
+        u_ref = list(pop.u_raw)
+        currents = [0.0, 5.0, 12.0]
+        isyn_raw = [Q15_16.from_float(c) for c in currents]
+        for _ in range(50):
+            pop.substep(np.asarray(isyn_raw))
+            for k in range(3):
+                v_ref[k], u_ref[k], _ = npu.update_raw(v_ref[k], u_ref[k], isyn_raw[k])
+        np.testing.assert_array_equal(pop.v_raw, np.asarray(v_ref))
+        np.testing.assert_array_equal(pop.u_raw, np.asarray(u_ref))
+
+    def test_step_ms_spikes_with_strong_drive(self):
+        pop = FixedPointPopulation.from_float_parameters([0.02] * 10, [0.2] * 10, [-65.0] * 10, [8.0] * 10)
+        fired_total = np.zeros(10, dtype=bool)
+        for _ in range(300):
+            fired_total |= pop.step_ms(np.full(10, 15.0))
+        assert fired_total.all()
+
+    def test_pin_voltage_floor(self):
+        pop = FixedPointPopulation.from_float_parameters(
+            [0.1], [0.2], [-65.0], [2.0], pin_voltage=True
+        )
+        for _ in range(200):
+            pop.step_ms(np.array([-50.0]))
+            assert pop.v[0] >= -65.0 - Q7_8.resolution
+
+
+class TestDecayHelper:
+    def test_matches_dcu(self):
+        from repro.sim import DCU
+
+        cfg = NMConfig()
+        cfg.load_timestep()
+        dcu = DCU(cfg)
+        raw = np.asarray(Q15_16.from_float(np.array([100.0, -40.0, 3.0])), dtype=np.int64)
+        vec = decay_current_raw(raw, 4, 1)
+        for k in range(3):
+            assert vec[k] == dcu.decay_raw(int(raw[k]), 4)
+
+    def test_decay_shrinks(self):
+        raw = np.asarray([Q15_16.from_float(50.0)], dtype=np.int64)
+        out = decay_current_raw(raw, 2, 1)
+        assert 0 < out[0] < raw[0]

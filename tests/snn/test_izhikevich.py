@@ -1,0 +1,95 @@
+"""Tests for the double-precision Izhikevich reference model."""
+
+import numpy as np
+import pytest
+
+from repro.snn import IzhikevichPopulation, euler_step, izhikevich_derivatives
+
+
+class TestDerivatives:
+    def test_known_value(self):
+        dv, du = izhikevich_derivatives(
+            np.array([-65.0]), np.array([-13.0]), np.array([0.0]), np.array([0.02]), np.array([0.2])
+        )
+        assert dv[0] == pytest.approx(0.04 * 65**2 - 5 * 65 + 140 + 13)
+        assert du[0] == pytest.approx(0.02 * (0.2 * -65 + 13))
+
+    def test_current_increases_dv(self):
+        dv0, _ = izhikevich_derivatives(np.array([-65.0]), np.array([-13.0]), np.array([0.0]), np.array([0.02]), np.array([0.2]))
+        dv1, _ = izhikevich_derivatives(np.array([-65.0]), np.array([-13.0]), np.array([10.0]), np.array([0.02]), np.array([0.2]))
+        assert dv1[0] > dv0[0]
+
+
+class TestEulerStep:
+    def _params(self, n=1):
+        return (
+            np.full(n, 0.02),
+            np.full(n, 0.2),
+            np.full(n, -65.0),
+            np.full(n, 8.0),
+        )
+
+    def test_inputs_not_mutated(self):
+        a, b, c, d = self._params()
+        v = np.array([-65.0])
+        u = np.array([-13.0])
+        euler_step(v, u, np.array([10.0]), a, b, c, d)
+        assert v[0] == -65.0 and u[0] == -13.0
+
+    def test_threshold_reset(self):
+        a, b, c, d = self._params()
+        v = np.array([31.0])
+        u = np.array([-10.0])
+        v2, u2, fired = euler_step(v, u, np.array([0.0]), a, b, c, d)
+        assert fired[0]
+        assert u2[0] > -10.0  # d added
+        # v was reset to c before integrating, so it is near c afterwards.
+        assert v2[0] < 0.0
+
+    def test_no_spike_below_threshold(self):
+        a, b, c, d = self._params()
+        _, _, fired = euler_step(np.array([-65.0]), np.array([-13.0]), np.array([0.0]), a, b, c, d)
+        assert not fired[0]
+
+    def test_substep_count_changes_result(self):
+        a, b, c, d = self._params()
+        v1, _, _ = euler_step(np.array([-60.0]), np.array([-13.0]), np.array([10.0]), a, b, c, d, v_substeps=1)
+        v2, _, _ = euler_step(np.array([-60.0]), np.array([-13.0]), np.array([10.0]), a, b, c, d, v_substeps=4)
+        assert v1[0] != v2[0]
+
+
+class TestPopulation:
+    def test_from_parameters_resting_state(self):
+        pop = IzhikevichPopulation.from_parameters([0.02], [0.2], [-65.0], [8.0])
+        assert pop.v[0] == -65.0
+        assert pop.u[0] == pytest.approx(0.2 * -65.0)
+        assert pop.size == 1
+
+    def test_tonic_spiking_rate(self):
+        pop = IzhikevichPopulation.from_parameters([0.02], [0.2], [-65.0], [8.0])
+        spikes = 0
+        for _ in range(1000):
+            spikes += int(pop.step(np.array([10.0]))[0])
+        assert 5 <= spikes <= 120
+
+    def test_no_input_no_spikes(self):
+        pop = IzhikevichPopulation.from_parameters([0.02], [0.2], [-65.0], [8.0])
+        spikes = sum(int(pop.step(np.array([0.0]))[0]) for _ in range(500))
+        assert spikes == 0
+
+    def test_vectorised_population(self):
+        n = 50
+        pop = IzhikevichPopulation.from_parameters(
+            np.full(n, 0.02), np.full(n, 0.2), np.full(n, -65.0), np.full(n, 8.0)
+        )
+        currents = np.linspace(0.0, 20.0, n)
+        total = np.zeros(n)
+        for _ in range(500):
+            total += pop.step(currents)
+        # Higher drive -> more spikes (monotone in aggregate).
+        assert total[-10:].sum() > total[:10].sum()
+
+    def test_fired_mask_property(self):
+        pop = IzhikevichPopulation.from_parameters([0.02], [0.2], [-65.0], [8.0])
+        pop.v[0] = 35.0
+        assert pop.fired()[0]

@@ -1,0 +1,111 @@
+"""Tests for the WTA network construction and the SNN Sudoku solver."""
+
+import numpy as np
+import pytest
+
+from repro.sudoku import (
+    NUM_NEURONS,
+    SNNSudokuSolver,
+    SudokuBoard,
+    EXAMPLE_PUZZLE,
+    WTAConfig,
+    build_wta_synapses,
+    conflicting_neurons,
+    connectivity_statistics,
+    neuron_coordinates,
+    neuron_index,
+)
+
+
+class TestIndexing:
+    def test_total_neurons(self):
+        assert NUM_NEURONS == 729
+
+    def test_roundtrip(self):
+        for idx in (0, 100, 364, 728):
+            assert neuron_index(*neuron_coordinates(idx)) == idx
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            neuron_index(0, 0, 0)
+        with pytest.raises(ValueError):
+            neuron_index(9, 0, 1)
+        with pytest.raises(ValueError):
+            neuron_coordinates(729)
+
+
+class TestConnectivity:
+    def test_out_degree_is_28(self):
+        assert len(conflicting_neurons(0, 0, 1)) == 28
+        assert len(conflicting_neurons(4, 4, 9)) == 28
+
+    def test_no_self_inhibition(self):
+        assert neuron_index(3, 3, 5) not in conflicting_neurons(3, 3, 5)
+
+    def test_conflicts_are_symmetric(self):
+        a = neuron_index(0, 0, 5)
+        b = neuron_index(0, 8, 5)  # same row, same digit
+        assert b in conflicting_neurons(0, 0, 5)
+        assert a in conflicting_neurons(0, 8, 5)
+
+    def test_cell_conflicts_cover_other_digits(self):
+        targets = conflicting_neurons(2, 2, 1)
+        cell_targets = [t for t in targets if neuron_coordinates(t)[:2] == (2, 2)]
+        assert len(cell_targets) == 8
+
+    def test_statistics_match_figure4(self):
+        stats = connectivity_statistics()
+        assert stats.inhibitory_out_degree == 28
+        assert stats.row_targets == 8
+        assert stats.column_targets == 8
+        assert stats.box_only_targets == 4
+        assert stats.cell_targets == 8
+        assert stats.num_inhibitory_edges == 729 * 28
+
+    def test_synapse_matrix_shape_and_signs(self):
+        cfg = WTAConfig()
+        syn = build_wta_synapses(cfg)
+        assert syn.matrix.shape == (729, 729)
+        diag = syn.matrix.diagonal()
+        np.testing.assert_allclose(diag, cfg.self_excitation)
+        off_diag_sum = syn.matrix.sum() - diag.sum()
+        assert off_diag_sum == pytest.approx(cfg.inhibition_weight * 729 * 28)
+
+
+class TestSolver:
+    def test_rejects_invalid_puzzle(self):
+        board = SudokuBoard.empty()
+        board.cells[0, 0] = board.cells[0, 1] = 7
+        with pytest.raises(ValueError):
+            SNNSudokuSolver().solve(board, max_steps=10)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            SNNSudokuSolver(backend="analog")
+
+    def test_decode_uses_clues(self):
+        puzzle = SudokuBoard.from_string(EXAMPLE_PUZZLE)
+        counts = np.zeros(NUM_NEURONS, dtype=np.int64)
+        last = np.full(NUM_NEURONS, -1, dtype=np.int64)
+        decoded = SNNSudokuSolver.decode(counts, last, puzzle)
+        assert decoded.respects_clues(puzzle)
+        # Cells without any spikes stay empty (apart from the clues).
+        assert decoded.num_clues == puzzle.num_clues
+
+    def test_short_run_produces_activity(self):
+        puzzle = SudokuBoard.from_string(EXAMPLE_PUZZLE)
+        result = SNNSudokuSolver(seed=1).solve(puzzle, max_steps=60, check_interval=20)
+        assert result.total_spikes > 0
+        assert result.neuron_updates == result.steps * NUM_NEURONS * 2
+        assert result.board.respects_clues(puzzle)
+
+    @pytest.mark.slow
+    def test_solves_example_puzzle(self):
+        puzzle = SudokuBoard.from_string(EXAMPLE_PUZZLE)
+        result = SNNSudokuSolver(seed=3).solve(
+            puzzle, max_steps=4000, check_interval=5, verify_against_reference=True
+        )
+        assert result.solved
+        assert result.board.is_solved()
+        assert result.board.respects_clues(puzzle)
+        assert result.matches_reference
