@@ -4,6 +4,11 @@ The paper runs the "Top 100 difficult" list; the substitute set is
 generated with a uniqueness-preserving clue-removal procedure
 (see DESIGN.md).  The benchmark solves a small deterministic subset so the
 full suite stays fast; increase ``count`` for a fuller sweep.
+
+The sweep executes on the batched runtime: all puzzles advance together
+through :meth:`SNNSudokuSolver.solve_batch` on one stacked ``(B, 729)``
+network, producing results bit-identical to the sequential per-puzzle
+loop (the pre-runtime behaviour, still reachable with ``batched=False``).
 """
 
 from repro.harness import format_table, sudoku_solve_rate
@@ -11,7 +16,7 @@ from repro.harness import format_table, sudoku_solve_rate
 
 def test_sudoku_snn_solve_rate(benchmark):
     result = benchmark.pedantic(
-        lambda: sudoku_solve_rate(count=2, max_steps=8000, target_clues=34),
+        lambda: sudoku_solve_rate(count=2, max_steps=8000, target_clues=34, batched=True),
         rounds=1,
         iterations=1,
     )

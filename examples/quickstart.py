@@ -1,126 +1,20 @@
 #!/usr/bin/env python3
 """Quickstart: the neuromorphic instructions end-to-end in a few minutes.
 
-This example walks through the core pieces of the IzhiRISC-V reproduction:
-
-1. packing Izhikevich parameters for the ``nmldl`` configuration
-   instruction and stepping a single neuron on the bit-accurate NPU model,
-2. decaying a synaptic current with the DCU shift-add approximation,
-3. assembling and running a small RISC-V program that uses the custom
-   instructions on the functional simulator, and
-4. timing the same program on the cycle-accurate 3-stage pipeline model.
-
-Run with:  python examples/quickstart.py
+The walkthrough lives in :mod:`repro.quickstart` so it is also available
+as the ``izhirisc-quickstart`` console script after ``pip install -e .``;
+this file keeps the historical ``python examples/quickstart.py`` entry
+point working from a plain checkout.
 """
 
-from repro.fixedpoint import Q15_16, pack_vu_float, unpack_vu_float
-from repro.isa import IzhikevichParams, assemble, disassemble, pack_nmldl_operands
-from repro.sim import (
-    CycleAccurateCore,
-    DCU,
-    DEFAULT_MEMORY_MAP,
-    FunctionalSimulator,
-    Memory,
-    NMConfig,
-    NPU,
-)
+import os
+import sys
 
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
-def single_neuron_on_the_npu() -> None:
-    """Step a regular-spiking neuron with a constant 10 pA-equivalent drive."""
-    print("=== 1. Single Izhikevich neuron on the NPU (nmpn semantics) ===")
-    config = NMConfig()
-    config.load_params(IzhikevichParams.regular_spiking())
-    config.load_timestep(fine_timestep=False)  # 0.5 ms Euler steps
-    npu = NPU(config)
-
-    v, u, spikes = -65.0, -13.0, 0
-    for _ in range(2000):  # 1 second of biological time
-        v, u, fired = npu.update_float(v, u, isyn=10.0)
-        spikes += fired
-    print(f"  after 1000 ms at Isyn=10: v={v:.2f} mV, u={u:.2f}, spikes={spikes}\n")
-
-
-def current_decay_on_the_dcu() -> None:
-    """Apply the AMPA-style exponential decay used by nmdec."""
-    print("=== 2. Synaptic current decay on the DCU (nmdec semantics) ===")
-    config = NMConfig()
-    config.load_timestep()
-    dcu = DCU(config)
-    current = 100.0
-    trace = []
-    for _ in range(10):
-        current = dcu.decay_float(current, tau_select=4)
-        trace.append(round(current, 3))
-    print(f"  I(t) over 10 steps (tau select 4): {trace}\n")
-
-
-def run_assembly_program() -> FunctionalSimulator:
-    """Assemble a program using the custom instructions and execute it."""
-    print("=== 3. Assembly program with nmldl/nmldh/nmpn/nmdec ===")
-    rs1, rs2 = pack_nmldl_operands(IzhikevichParams.regular_spiking())
-    vu_word = pack_vu_float(-65.0, -13.0)
-    isyn_word = Q15_16.to_unsigned(Q15_16.from_float(12.0))
-
-    source = f"""
-    .equ VU_ADDR, 0x10000000
-    _start:
-        li   a6, {rs1}
-        li   a7, {rs2}
-        nmldl x0, a6, a7          # load a, b, c, d
-        li   t0, 0
-        nmldh x0, t0, x0          # 0.5 ms timestep, no pin
-        li   a0, {vu_word}        # packed (v, u)
-        li   a1, {isyn_word}      # synaptic current (Q15.16)
-        li   a2, VU_ADDR
-        li   s0, 100              # simulate 100 timesteps
-        li   s1, 0                # spike counter
-    loop:
-        nmpn a2, a0, a1           # update neuron, store VU word, a2 <- spike
-        add  s1, s1, a2
-        li   a2, VU_ADDR
-        lw   a0, 0(a2)            # reload the updated state
-        li   t1, 4
-        nmdec a1, t1, a1          # decay the current
-        addi s0, s0, -1
-        bnez s0, loop
-        li   a0, 0
-        li   a7, 93
-        ecall
-    """
-    program = assemble(source)
-    print("  first instructions of the assembled program:")
-    for line in disassemble(program.words[:6]).splitlines():
-        print("   ", line)
-
-    memory = Memory(DEFAULT_MEMORY_MAP())
-    sim = FunctionalSimulator(memory)
-    sim.load_program(program)
-    sim.run()
-    v, u = unpack_vu_float(memory.load_word(0x1000_0000))
-    print(f"  executed {sim.instret} instructions; spikes={sim.regs[9]}, final v={v:.2f} mV, u={u:.2f}\n")
-    return sim
-
-
-def time_it_on_the_pipeline() -> None:
-    """Run the same workload on the cycle-accurate 3-stage pipeline."""
-    print("=== 4. Cycle-accurate timing on the 3-stage DTEK-V pipeline ===")
-    from repro.codegen import build_eighty_twenty_workload
-
-    workload = build_eighty_twenty_workload(num_neurons=64, num_steps=3, kind="extension")
-    core = CycleAccurateCore(workload.make_simulator())
-    counters = core.run()
-    print(f"  cycles={counters.cycles}  instructions={counters.instructions}")
-    print(f"  IPC={counters.ipc:.3f}  IPC_eff={counters.ipc_eff:.3f}  "
-          f"hazard stalls={counters.hazard_stall_percent:.2f}%")
-    print(f"  I-cache hit rate={counters.icache.hit_rate:.2f}%  "
-          f"D-cache hit rate={counters.dcache.hit_rate:.2f}%")
-    print(f"  execution time @30 MHz = {counters.execution_time_s(30e6) * 1e3:.3f} ms\n")
-
+from repro.quickstart import main
 
 if __name__ == "__main__":
-    single_neuron_on_the_npu()
-    current_decay_on_the_dcu()
-    run_assembly_program()
-    time_it_on_the_pipeline()
-    print("Quickstart finished.")
+    raise SystemExit(main())

@@ -1,11 +1,17 @@
 """Setup shim for environments without network access.
 
 The canonical metadata lives in ``pyproject.toml``; this file exists so the
-package can also be installed with ``pip install -e . --no-build-isolation
---no-use-pep517`` (legacy editable mode) on machines where the ``wheel``
-package is unavailable and PyPI cannot be reached.
+package can also be installed with ``pip install -e . --no-build-isolation``
+(or, on machines where the ``wheel`` package is unavailable and PyPI cannot
+be reached, the legacy ``pip install -e . --no-build-isolation
+--no-use-pep517``).  The explicit ``package_dir``/``packages`` arguments
+below keep the legacy path working on setuptools versions that predate
+``[tool.setuptools.packages.find]`` support (< 61).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

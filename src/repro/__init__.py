@@ -26,8 +26,12 @@ Subpackages
     FPGA and standard-cell resource/power/frequency models.
 ``repro.harness``
     Experiment drivers that regenerate every table and figure of the paper.
+``repro.runtime``
+    Batched multi-network runtime: the ``SimBackend`` registry over the
+    four execution paths, the vectorised ``(B, N)`` batch engine and the
+    process-pool ``SweepExecutor`` (see ``docs/RUNTIME.md``).
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = ["__version__"]

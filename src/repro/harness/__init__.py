@@ -3,6 +3,7 @@
 from . import paper_data
 from .experiments import (
     CycleExperimentResult,
+    eighty_twenty_seed_sweep,
     fig2_raster,
     fig3_isi,
     fig4_wta,
@@ -22,6 +23,7 @@ from .reporting import format_comparison, format_kv, format_table
 __all__ = [
     "paper_data",
     "CycleExperimentResult",
+    "eighty_twenty_seed_sweep",
     "fig2_raster",
     "fig3_isi",
     "fig4_wta",

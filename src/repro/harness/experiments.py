@@ -7,12 +7,21 @@ accept scale parameters because full-size cycle simulation of the paper's
 workloads is impractical in pure Python — the defaults are steady-state
 windows whose per-timestep metrics are directly comparable to the paper's
 (see DESIGN.md §2).
+
+Multi-run drivers execute through :mod:`repro.runtime`: homogeneous
+network-level runs (the Sudoku solve-rate evaluation, seed sweeps of the
+80-20 network) are stacked on the vectorised batch engine, while
+heterogeneous or ISA/cycle-level runs (the Fig. 3 backend comparison,
+whose variants mix backends and current modes, and the Table V/VI system
+windows) fan out through a
+:class:`~repro.runtime.sweep.SweepExecutor` — serial by default,
+process-parallel when an executor with ``mode="process"`` is passed in.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +44,7 @@ from ..snn import (
     rhythm_summary,
     run_eighty_twenty,
 )
+from ..runtime import SweepExecutor, SweepTask, eighty_twenty_seed_sweep
 from ..sudoku import SNNSudokuSolver, generate_puzzle_set
 from ..sudoku.wta import connectivity_statistics
 from . import paper_data
@@ -54,6 +64,7 @@ __all__ = [
     "fig5_floorplan",
     "softfloat_speedup",
     "sudoku_solve_rate",
+    "eighty_twenty_seed_sweep",
 ]
 
 
@@ -155,18 +166,20 @@ class CycleExperimentResult:
         return rows
 
 
-def _run_partitioned(
-    builder: Callable[[int, int], "object"],
-    num_cores: int,
-    *,
-    core_config: Optional[CoreConfig] = None,
-) -> SystemResult:
-    """Run a statically-partitioned workload on ``num_cores`` cores."""
-    config = core_config if core_config is not None else CoreConfig()
+def _table5_system_task(task: SweepTask) -> SystemResult:
+    """Run one statically-partitioned 80-20 window (picklable sweep task)."""
+    p = task.params
+    num_cores = int(p["num_cores"])
 
     def make(core_id: int, total: int):
-        return builder(core_id, total).make_simulator()
+        share = p["num_neurons"] // total
+        count = share if core_id < total - 1 else p["num_neurons"] - share * (total - 1)
+        workload = build_eighty_twenty_workload(
+            num_neurons=count, num_steps=p["num_steps"], kind=p["kind"], seed=p["seed"] + core_id
+        )
+        return workload.make_simulator()
 
+    config = p.get("core_config") or CoreConfig()
     system = MultiCoreSystem.from_builder(num_cores, make, core_config=config)
     return system.run()
 
@@ -178,22 +191,30 @@ def table5_eighty_twenty(
     core_config: Optional[CoreConfig] = None,
     kind: str = "extension",
     seed: int = 2003,
+    executor: Optional[SweepExecutor] = None,
 ) -> CycleExperimentResult:
     """Regenerate the Table V metrics on a scaled 80-20 window.
 
     The population is statically split across cores exactly as the paper's
-    dual-core system splits the 1000 neurons.
+    dual-core system splits the 1000 neurons.  The single- and dual-core
+    system simulations are independent, so they are dispatched as two
+    tasks through the runtime's :class:`SweepExecutor` (serial inline
+    execution by default; pass ``SweepExecutor(mode="process")`` to run
+    them on separate cores).
     """
-
-    def builder(core_id: int, total: int):
-        share = num_neurons // total
-        count = share if core_id < total - 1 else num_neurons - share * (total - 1)
-        return build_eighty_twenty_workload(
-            num_neurons=count, num_steps=num_steps, kind=kind, seed=seed + core_id
-        )
-
-    single = _run_partitioned(builder, 1, core_config=core_config)
-    dual = _run_partitioned(builder, 2, core_config=core_config)
+    executor = executor if executor is not None else SweepExecutor()
+    params = {
+        "num_neurons": num_neurons,
+        "num_steps": num_steps,
+        "kind": kind,
+        "seed": seed,
+        "core_config": core_config,
+    }
+    single, dual = executor.run(
+        _table5_system_task,
+        [{**params, "num_cores": 1}, {**params, "num_cores": 2}],
+        base_seed=seed,
+    )
     clock = (core_config or CoreConfig()).clock_hz
     return CycleExperimentResult(
         workload="eighty-twenty",
@@ -207,6 +228,30 @@ def table5_eighty_twenty(
     )
 
 
+def _table6_system_task(task: SweepTask) -> SystemResult:
+    """Run one Sudoku WTA window (single or halved dual; picklable task)."""
+    from ..sudoku import SudokuBoard
+
+    p = task.params
+    puzzle = SudokuBoard(np.asarray(p["puzzle_cells"], dtype=np.int64))
+    num_cores = int(p["num_cores"])
+
+    def make(core_id: int, total: int):
+        # Each core runs the same per-step kernel over its neuron share; the
+        # share is modelled by scaling the step count of a full network
+        # (instruction mix per neuron is identical, so metrics match).
+        workload = build_sudoku_workload(
+            puzzle, num_steps=p["num_steps"], kind=p["kind"], seed=p["seed"] + core_id
+        )
+        if num_cores == 1:
+            return workload.make_simulator()
+        # Dual core: each core handles half the neurons -> half the work.
+        return _HalvedSimulator.build(workload)
+
+    config = p.get("core_config") or CoreConfig()
+    return MultiCoreSystem.from_builder(num_cores, make, core_config=config).run()
+
+
 def table6_sudoku(
     *,
     num_steps: int = 2,
@@ -214,37 +259,33 @@ def table6_sudoku(
     kind: str = "extension",
     clue_fraction: float = 0.35,
     seed: int = 7,
+    executor: Optional[SweepExecutor] = None,
 ) -> CycleExperimentResult:
     """Regenerate the Table VI metrics on a Sudoku WTA window.
 
     For the dual-core configuration the 729 neurons are split between the
     cores; each core's program updates its share and propagates its share
     of the spikes (shared-memory effects on the currents do not change the
-    instruction mix, which is what the metrics measure).
+    instruction mix, which is what the metrics measure).  As with Table V,
+    the two system simulations run as independent
+    :class:`SweepExecutor` tasks.
     """
     from ..sudoku import PuzzleGenerator
 
     puzzle = PuzzleGenerator().generate(seed=seed, target_clues=max(17, int(81 * clue_fraction))).puzzle
-
-    def builder(core_id: int, total: int):
-        # Each core runs the same per-step kernel over its neuron share; the
-        # share is modelled by scaling the step count of a full network
-        # (instruction mix per neuron is identical, so metrics match).
-        workload = build_sudoku_workload(puzzle, num_steps=num_steps, kind=kind, seed=seed + core_id)
-        return workload
-
-    single = _run_partitioned(builder, 1, core_config=core_config)
-    # Dual core: each core handles half the neurons -> half the per-step work.
-    half_steps = max(1, num_steps)
-
-    def half_builder(core_id: int, total: int):
-        return build_sudoku_workload(puzzle, num_steps=half_steps, kind=kind, seed=seed + core_id)
-
-    dual = MultiCoreSystem.from_builder(
-        2,
-        lambda cid, tot: _HalvedSimulator.build(half_builder(cid, tot)),
-        core_config=core_config or CoreConfig(),
-    ).run()
+    executor = executor if executor is not None else SweepExecutor()
+    params = {
+        "puzzle_cells": np.asarray(puzzle.cells, dtype=np.int64),
+        "num_steps": max(1, num_steps),
+        "kind": kind,
+        "seed": seed,
+        "core_config": core_config,
+    }
+    single, dual = executor.run(
+        _table6_system_task,
+        [{**params, "num_cores": 1, "num_steps": num_steps}, {**params, "num_cores": 2}],
+        base_seed=seed,
+    )
     clock = (core_config or CoreConfig()).clock_hz
     speedup = single.system_cycles / dual.system_cycles if dual.system_cycles else 0.0
     return CycleExperimentResult(
@@ -323,23 +364,40 @@ def fig2_raster(*, num_steps: int = 1000, backend: str = "fixed") -> Dict[str, o
     }
 
 
-def fig3_isi(*, num_steps: int = 1000) -> Dict[str, object]:
-    """Compare ISI histograms across the three arithmetic backends."""
+def _fig3_variant_task(task: SweepTask) -> Tuple[str, object, Dict[str, object]]:
+    """Run one Fig. 3 arithmetic variant (picklable sweep task)."""
+    params = dict(task.params)
+    name = params.pop("name")
+    raster, summary = run_eighty_twenty(**params)
+    edges, counts = isi_histogram(raster)
+    return name, raster, {"edges": edges, "counts": counts, "summary": summary}
+
+
+def fig3_isi(
+    *, num_steps: int = 1000, executor: Optional[SweepExecutor] = None
+) -> Dict[str, object]:
+    """Compare ISI histograms across the three arithmetic backends.
+
+    The three variants are independent simulations and run as
+    :class:`SweepExecutor` tasks (inline by default; pass a
+    process-mode executor to spread them over cores).
+    """
+    executor = executor if executor is not None else SweepExecutor()
+    param_sets = [
+        {"name": "double precision", "backend": "float64", "num_steps": num_steps},
+        {"name": "fixed point", "backend": "fixed", "num_steps": num_steps},
+        {
+            "name": "IzhiRISC-V (fixed + DCU decay)",
+            "backend": "fixed",
+            "current_mode": "decay",
+            "num_steps": num_steps,
+        },
+    ]
     variants: Dict[str, object] = {}
     rasters = {}
-    for name, kwargs in (
-        ("double precision", {"backend": "float64"}),
-        ("fixed point", {"backend": "fixed"}),
-        ("IzhiRISC-V (fixed + DCU decay)", {"backend": "fixed", "current_mode": "decay"}),
-    ):
-        raster, summary = run_eighty_twenty(num_steps=num_steps, **kwargs)
-        edges, counts = isi_histogram(raster)
+    for name, raster, data in executor.run(_fig3_variant_task, param_sets):
         rasters[name] = raster
-        variants[name] = {
-            "edges": edges,
-            "counts": counts,
-            "summary": summary,
-        }
+        variants[name] = data
     reference_counts = variants["double precision"]["counts"]
     similarities = {
         name: histogram_similarity(reference_counts, data["counts"])
@@ -383,12 +441,28 @@ def softfloat_speedup(
 
 
 def sudoku_solve_rate(
-    *, count: int = 3, max_steps: int = 6000, target_clues: int = 30, seed: int = 1000
+    *,
+    count: int = 3,
+    max_steps: int = 6000,
+    target_clues: int = 30,
+    seed: int = 1000,
+    batched: bool = True,
 ) -> Dict[str, object]:
-    """Solve a set of generated puzzles with the SNN solver (E-S3)."""
+    """Solve a set of generated puzzles with the SNN solver (E-S3).
+
+    With ``batched=True`` (default) all puzzles advance together on the
+    vectorised batch engine (:meth:`SNNSudokuSolver.solve_batch`), which
+    is bit-identical to — and much faster than — the sequential
+    ``batched=False`` loop kept as the reference baseline.
+    """
     puzzles = generate_puzzle_set(count, base_seed=seed, target_clues=target_clues)
     solver = SNNSudokuSolver()
-    results = [solver.solve(p.puzzle, max_steps=max_steps, check_interval=5) for p in puzzles]
+    if batched:
+        results = solver.solve_batch(
+            [p.puzzle for p in puzzles], max_steps=max_steps, check_interval=5
+        )
+    else:
+        results = [solver.solve(p.puzzle, max_steps=max_steps, check_interval=5) for p in puzzles]
     solved = sum(1 for r in results if r.solved)
     return {
         "num_puzzles": count,

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Quickstart: the neuromorphic instructions end-to-end in a few minutes.
+
+This walks through the core pieces of the IzhiRISC-V reproduction:
+
+1. packing Izhikevich parameters for the ``nmldl`` configuration
+   instruction and stepping a single neuron on the bit-accurate NPU model,
+2. decaying a synaptic current with the DCU shift-add approximation,
+3. assembling and running a small RISC-V program that uses the custom
+   instructions on the functional simulator,
+4. timing the same program on the cycle-accurate 3-stage pipeline model,
+5. running a batched 80-20 seed sweep on the vectorised runtime.
+
+Run with ``izhirisc-quickstart`` (installed console script),
+``python -m repro.quickstart``, or ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+
+def single_neuron_on_the_npu() -> None:
+    """Step a regular-spiking neuron with a constant 10 pA-equivalent drive."""
+    from repro.isa import IzhikevichParams
+    from repro.sim import NMConfig, NPU
+
+    print("=== 1. Single Izhikevich neuron on the NPU (nmpn semantics) ===")
+    config = NMConfig()
+    config.load_params(IzhikevichParams.regular_spiking())
+    config.load_timestep(fine_timestep=False)  # 0.5 ms Euler steps
+    npu = NPU(config)
+
+    v, u, spikes = -65.0, -13.0, 0
+    for _ in range(2000):  # 1 second of biological time
+        v, u, fired = npu.update_float(v, u, isyn=10.0)
+        spikes += fired
+    print(f"  after 1000 ms at Isyn=10: v={v:.2f} mV, u={u:.2f}, spikes={spikes}\n")
+
+
+def current_decay_on_the_dcu() -> None:
+    """Apply the AMPA-style exponential decay used by nmdec."""
+    from repro.sim import DCU, NMConfig
+
+    print("=== 2. Synaptic current decay on the DCU (nmdec semantics) ===")
+    config = NMConfig()
+    config.load_timestep()
+    dcu = DCU(config)
+    current = 100.0
+    trace = []
+    for _ in range(10):
+        current = dcu.decay_float(current, tau_select=4)
+        trace.append(round(current, 3))
+    print(f"  I(t) over 10 steps (tau select 4): {trace}\n")
+
+
+def run_assembly_program():
+    """Assemble a program using the custom instructions and execute it."""
+    from repro.fixedpoint import Q15_16, pack_vu_float, unpack_vu_float
+    from repro.isa import IzhikevichParams, assemble, disassemble, pack_nmldl_operands
+    from repro.sim import DEFAULT_MEMORY_MAP, FunctionalSimulator, Memory
+
+    print("=== 3. Assembly program with nmldl/nmldh/nmpn/nmdec ===")
+    rs1, rs2 = pack_nmldl_operands(IzhikevichParams.regular_spiking())
+    vu_word = pack_vu_float(-65.0, -13.0)
+    isyn_word = Q15_16.to_unsigned(Q15_16.from_float(12.0))
+
+    source = f"""
+    .equ VU_ADDR, 0x10000000
+    _start:
+        li   a6, {rs1}
+        li   a7, {rs2}
+        nmldl x0, a6, a7          # load a, b, c, d
+        li   t0, 0
+        nmldh x0, t0, x0          # 0.5 ms timestep, no pin
+        li   a0, {vu_word}        # packed (v, u)
+        li   a1, {isyn_word}      # synaptic current (Q15.16)
+        li   a2, VU_ADDR
+        li   s0, 100              # simulate 100 timesteps
+        li   s1, 0                # spike counter
+    loop:
+        nmpn a2, a0, a1           # update neuron, store VU word, a2 <- spike
+        add  s1, s1, a2
+        li   a2, VU_ADDR
+        lw   a0, 0(a2)            # reload the updated state
+        li   t1, 4
+        nmdec a1, t1, a1          # decay the current
+        addi s0, s0, -1
+        bnez s0, loop
+        li   a0, 0
+        li   a7, 93
+        ecall
+    """
+    program = assemble(source)
+    print("  first instructions of the assembled program:")
+    for line in disassemble(program.words[:6]).splitlines():
+        print("   ", line)
+
+    memory = Memory(DEFAULT_MEMORY_MAP())
+    sim = FunctionalSimulator(memory)
+    sim.load_program(program)
+    sim.run()
+    v, u = unpack_vu_float(memory.load_word(0x1000_0000))
+    print(f"  executed {sim.instret} instructions; spikes={sim.regs[9]}, final v={v:.2f} mV, u={u:.2f}\n")
+    return sim
+
+
+def time_it_on_the_pipeline() -> None:
+    """Run the same workload on the cycle-accurate 3-stage pipeline."""
+    from repro.codegen import build_eighty_twenty_workload
+    from repro.sim import CycleAccurateCore
+
+    print("=== 4. Cycle-accurate timing on the 3-stage DTEK-V pipeline ===")
+    workload = build_eighty_twenty_workload(num_neurons=64, num_steps=3, kind="extension")
+    core = CycleAccurateCore(workload.make_simulator())
+    counters = core.run()
+    print(f"  cycles={counters.cycles}  instructions={counters.instructions}")
+    print(f"  IPC={counters.ipc:.3f}  IPC_eff={counters.ipc_eff:.3f}  "
+          f"hazard stalls={counters.hazard_stall_percent:.2f}%")
+    print(f"  I-cache hit rate={counters.icache.hit_rate:.2f}%  "
+          f"D-cache hit rate={counters.dcache.hit_rate:.2f}%")
+    print(f"  execution time @30 MHz = {counters.execution_time_s(30e6) * 1e3:.3f} ms\n")
+
+
+def batched_seed_sweep() -> None:
+    """Sweep eight seeds of a scaled 80-20 network on the batched runtime."""
+    import time
+
+    from repro.runtime import eighty_twenty_seed_sweep
+
+    print("=== 5. Batched 80-20 seed sweep on the vectorised runtime ===")
+    seeds = list(range(2003, 2011))
+    start = time.perf_counter()
+    sweep = eighty_twenty_seed_sweep(seeds, num_steps=200, num_neurons=100)
+    elapsed = time.perf_counter() - start
+    rates = ", ".join(f"{r.mean_rate_hz():.1f}" for r in sweep.rasters)
+    print(f"  B={len(seeds)} networks x 100 neurons x 200 ms in {elapsed * 1e3:.0f} ms")
+    print(f"  per-seed mean rates [Hz]: {rates}\n")
+
+
+def main() -> int:
+    """Console entry point (``izhirisc-quickstart``)."""
+    single_neuron_on_the_npu()
+    current_decay_on_the_dcu()
+    run_assembly_program()
+    time_it_on_the_pipeline()
+    batched_seed_sweep()
+    print("Quickstart finished.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

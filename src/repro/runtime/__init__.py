@@ -1,0 +1,62 @@
+"""Batched multi-network runtime for the IzhiRISC-V reproduction.
+
+This package makes *batches* of independent simulations the unit of work
+(see ``docs/RUNTIME.md`` for worked examples):
+
+:mod:`repro.runtime.backends`
+    :class:`SimBackend` protocol plus a registry unifying the four
+    execution paths — float64 reference, fixed-point NPU datapath,
+    functional ISA simulator and cycle-accurate core — behind one
+    ``RunRequest -> RunResult`` interface.
+:mod:`repro.runtime.batch`
+    :class:`BatchedNetwork`, the vectorised batch engine stacking ``B``
+    networks into ``(B, N)`` state arrays advanced by fused updates;
+    bit-exact with the sequential engine in its default mode.
+:mod:`repro.runtime.sweep`
+    :class:`SweepExecutor`, fanning non-vectorisable ISA-level runs out
+    over a process pool with deterministic per-task seeding.
+:mod:`repro.runtime.workloads`
+    Sweep drivers for the paper's workloads: batched 80-20 seed sweeps
+    and pooled Sudoku solve-rate sweeps.
+"""
+
+from .backends import (
+    RunRequest,
+    RunResult,
+    SimBackend,
+    available_backends,
+    eighty_twenty_config,
+    get_backend,
+    register_backend,
+    run_on_backend,
+)
+from .batch import BatchedNetwork, BatchIncompatibleError
+from .sweep import SweepExecutor, SweepTask, derive_task_seed
+from .workloads import (
+    SeedSweepResult,
+    batched_thalamic_provider,
+    build_eighty_twenty_replicas,
+    eighty_twenty_seed_sweep,
+    pooled_sudoku_sweep,
+)
+
+__all__ = [
+    "RunRequest",
+    "RunResult",
+    "SimBackend",
+    "available_backends",
+    "eighty_twenty_config",
+    "get_backend",
+    "register_backend",
+    "run_on_backend",
+    "BatchedNetwork",
+    "BatchIncompatibleError",
+    "SweepExecutor",
+    "SweepTask",
+    "derive_task_seed",
+    "SeedSweepResult",
+    "batched_thalamic_provider",
+    "build_eighty_twenty_replicas",
+    "eighty_twenty_seed_sweep",
+    "pooled_sudoku_sweep",
+]

@@ -1,0 +1,458 @@
+"""Vectorised batch engine: advance ``B`` independent networks at once.
+
+The sequential :class:`~repro.snn.network.SNNNetwork` drives one network
+per Python loop iteration, so a seed sweep of the 80-20 workload or a
+multi-puzzle Sudoku solve-rate run pays the NumPy dispatch overhead of
+every small array operation ``B`` times per step.  :class:`BatchedNetwork`
+stacks the state of ``B`` *compatible* networks into ``(B, N)`` arrays and
+advances all of them in one fused update per step, amortising that
+overhead across the whole batch.
+
+Two operating points are supported, selected by ``synapse_mode``:
+
+``"exact"`` (default)
+    External inputs and synaptic propagation are evaluated per replica
+    with the *identical* expressions the sequential engine uses, so the
+    batched run is **bit-exact** with ``B`` sequential ``SNNNetwork.run``
+    calls — bit-identical spike rasters for the fixed-point backend and
+    bit-identical float64 trajectories for the reference backend.  Only
+    the neuron/current update is fused.
+
+``"fused"``
+    Synaptic propagation is additionally vectorised across the batch
+    (a gather + segmented reduction over the stacked weight matrices).
+    Floating-point summation order differs from the sequential column
+    reduction, so results are numerically equivalent (same distribution,
+    ULP-level differences in the synaptic current) but not guaranteed
+    bit-identical.  This is the high-throughput mode used by the seed
+    sweep benchmarks, typically combined with a ``batched_external``
+    provider that draws the whole ``(B, N)`` input in one call.
+
+The fixed-point update is fused through :class:`_FixedBatchKernel`, a
+scratch-buffer reimplementation of the integer datapath that is
+bit-identical to :func:`repro.sim.npu.izhikevich_update_raw` by
+construction (integer arithmetic is exact, so reassociating the adds and
+reusing buffers cannot change results); ``tests/runtime`` locks the
+equivalence down with randomized cross-checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..fixedpoint import Q7_8, Q15_16
+from ..sim.npu import _COEFF_004_Q4_11, _CONST_140_ACC, _VTH_RAW
+from ..snn.analysis import SpikeRaster
+from ..snn.fixed_izhikevich import FixedPointPopulation, decay_current_raw
+from ..snn.izhikevich import IzhikevichPopulation, euler_step
+from ..snn.network import SNNNetwork
+from ..snn.synapse import DenseSynapses, SparseSynapses
+
+__all__ = ["BatchedNetwork", "BatchIncompatibleError"]
+
+#: Signature of a batched external-input provider: ``f(step) -> (B, N)``.
+BatchedInputProvider = Callable[[int], np.ndarray]
+
+_Q7_8_MIN, _Q7_8_MAX = Q7_8.raw_min, Q7_8.raw_max
+_Q15_16_MIN, _Q15_16_MAX = Q15_16.raw_min, Q15_16.raw_max
+_ACC_FROM_Q7_8 = 16 - Q7_8.frac_bits  # promote Q7.8 raw to the Q?.16 accumulator
+_BV_SHIFT = 11 + Q7_8.frac_bits - 16  # align b*v (Q4.11 * Q7.8) to 16 frac bits
+
+
+class BatchIncompatibleError(ValueError):
+    """Raised when the networks handed to the batch engine cannot be stacked."""
+
+
+def _quantize_q15_16(
+    values: np.ndarray, out: np.ndarray, scratch: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Fused ``Q15_16.from_float`` (NEAREST / SATURATE) into ``out`` (int64).
+
+    Bit-identical to :meth:`repro.fixedpoint.QFormat.from_float` with the
+    default rounding and overflow modes: round-to-nearest with ties away
+    from zero is computed as ``copysign(floor(|x| + 0.5), x)``, which
+    matches the reference's ``floor(x + 0.5) / ceil(x - 0.5)`` split for
+    every representable input.
+    """
+    if scratch is None:
+        scratch = np.empty_like(values)
+    np.multiply(values, 65536.0, out=scratch)
+    np.abs(scratch, out=scratch)
+    scratch += 0.5
+    np.floor(scratch, out=scratch)
+    np.copysign(scratch, values, out=scratch)  # values carries the sign (scale > 0)
+    np.copyto(out, scratch, casting="unsafe")
+    np.maximum(out, _Q15_16_MIN, out=out)
+    np.minimum(out, _Q15_16_MAX, out=out)
+    return out
+
+
+class _FixedBatchKernel:
+    """Scratch-buffer fixed-point Izhikevich substep over ``(B, N)`` state.
+
+    Bit-identical to :func:`repro.sim.npu.izhikevich_update_raw`; the only
+    differences are preallocated temporaries and in-place NumPy ops, which
+    are exact for integer arithmetic.
+    """
+
+    def __init__(
+        self,
+        a_raw: np.ndarray,
+        b_raw: np.ndarray,
+        c_raw: np.ndarray,
+        d_raw: np.ndarray,
+        *,
+        h_shift: int,
+        pin_voltage: bool,
+    ) -> None:
+        self.a = a_raw
+        self.b = b_raw
+        self.c = c_raw
+        self.d_q78 = d_raw >> (11 - Q7_8.frac_bits)
+        self.h_shift = h_shift
+        self.pin_voltage = pin_voltage
+        shape = a_raw.shape
+        self._v_acc = np.empty(shape, dtype=np.int64)
+        self._u_acc = np.empty(shape, dtype=np.int64)
+        self._dv = np.empty(shape, dtype=np.int64)
+        self._du = np.empty(shape, dtype=np.int64)
+        self._u_sp = np.empty(shape, dtype=np.int64)
+        self._spike = np.empty(shape, dtype=bool)
+
+    def substep(self, v: np.ndarray, u: np.ndarray, isyn_raw: np.ndarray) -> np.ndarray:
+        """Advance ``(v, u)`` in place by one NPU timestep; returns spikes."""
+        v_acc, u_acc, dv, du = self._v_acc, self._u_acc, self._dv, self._du
+        np.left_shift(v, _ACC_FROM_Q7_8, out=v_acc)
+        np.left_shift(u, _ACC_FROM_Q7_8, out=u_acc)
+
+        # dv = ((0.04 v^2 + 5 v + 140 - u + Isyn)) >> h
+        np.multiply(v, v, out=dv)
+        dv *= _COEFF_004_Q4_11
+        np.right_shift(dv, 11, out=dv)
+        np.multiply(v_acc, 5, out=du)  # reuse du as a temporary for 5*v_acc
+        dv += du
+        dv += _CONST_140_ACC
+        dv -= u_acc
+        dv += isyn_raw
+        np.right_shift(dv, self.h_shift, out=dv)
+
+        # du = (a (b v - u)) >> h
+        np.multiply(self.b, v, out=du)
+        np.right_shift(du, _BV_SHIFT, out=du)
+        du -= u_acc
+        du *= self.a
+        np.right_shift(du, 11, out=du)
+        np.right_shift(du, self.h_shift, out=du)
+
+        v_acc += dv
+        np.right_shift(v_acc, _ACC_FROM_Q7_8, out=v_acc)
+        np.maximum(v_acc, _Q7_8_MIN, out=v_acc)
+        np.minimum(v_acc, _Q7_8_MAX, out=v_acc)
+        u_acc += du
+        np.right_shift(u_acc, _ACC_FROM_Q7_8, out=u_acc)
+        np.maximum(u_acc, _Q7_8_MIN, out=u_acc)
+        np.minimum(u_acc, _Q7_8_MAX, out=u_acc)
+
+        spike, u_sp = self._spike, self._u_sp
+        np.greater_equal(v_acc, _VTH_RAW, out=spike)
+        np.add(u_acc, self.d_q78, out=u_sp)
+        np.maximum(u_sp, _Q7_8_MIN, out=u_sp)
+        np.minimum(u_sp, _Q7_8_MAX, out=u_sp)
+
+        np.copyto(v, v_acc)
+        np.copyto(v, self.c, where=spike)
+        np.copyto(u, u_acc)
+        np.copyto(u, u_sp, where=spike)
+        if self.pin_voltage:
+            np.maximum(v, self.c, out=v)
+        return spike
+
+
+class _SynapseBatch:
+    """Batched synaptic propagation over stacked connectivity."""
+
+    def __init__(self, networks: Sequence[SNNNetwork], mode: str) -> None:
+        synapses = [net.synapses for net in networks]
+        kinds = {type(s) for s in synapses}
+        if len(kinds) != 1:
+            raise BatchIncompatibleError("all networks must use the same synapse kind")
+        self.mode = mode
+        self.batch_size = len(networks)
+        self.size = networks[0].size
+        self._synapses = synapses
+        self._none = synapses[0] is None
+        self._out = np.zeros((self.batch_size, self.size), dtype=np.float64)
+        self._weight_rows: Optional[np.ndarray] = None
+        self._shared_sparse = None
+        if self._none or mode == "exact":
+            return
+        if isinstance(synapses[0], DenseSynapses):
+            # Row (b * N + i) holds W_b[:, i]: the outgoing weights of
+            # presynaptic neuron i in replica b.  One gather over the
+            # firing (replica, neuron) pairs plus a segmented reduction
+            # then yields every replica's synaptic current at once.
+            stacked = np.stack([np.asarray(s.weights) for s in synapses])
+            self._weight_rows = np.ascontiguousarray(stacked.transpose(0, 2, 1)).reshape(
+                self.batch_size * self.size, self.size
+            )
+        elif isinstance(synapses[0], SparseSynapses):
+            first = synapses[0].matrix
+            if not all(s.matrix is first for s in synapses[1:]):
+                raise BatchIncompatibleError(
+                    "fused sparse propagation requires a shared connectivity matrix"
+                )
+            self._shared_sparse = first
+        else:  # pragma: no cover - synapse kinds are exhaustive
+            raise BatchIncompatibleError(f"unsupported synapse kind {kinds!r}")
+
+    def propagate(self, fired: np.ndarray) -> np.ndarray:
+        """Synaptic current ``(B, N)`` delivered by the firing mask ``(B, N)``."""
+        out = self._out
+        if self._none:
+            out[:] = 0.0
+            return out
+        if self.mode == "exact":
+            for i, syn in enumerate(self._synapses):
+                out[i] = syn.propagate(fired[i])
+            return out
+        if self._shared_sparse is not None:
+            out[:] = (self._shared_sparse @ fired.T.astype(np.float64)).T
+            return out
+        idx = np.flatnonzero(fired.ravel())
+        out[:] = 0.0
+        if idx.size:
+            rows = self._weight_rows[idx]
+            counts = fired.sum(axis=1)
+            nonempty = counts > 0
+            starts = (np.cumsum(counts) - counts)[nonempty]
+            out[nonempty] = np.add.reduceat(rows, starts, axis=0)
+        return out
+
+
+class BatchedNetwork:
+    """``B`` independent, structurally compatible networks as one unit of work.
+
+    Build with :meth:`from_networks`; the constituent networks must share
+    the population kind (all fixed-point or all float64), size, timestep
+    configuration, current mode and synapse kind.  The stacked engine owns
+    copies of the per-replica state, so the source networks are left
+    untouched.
+
+    Parameters
+    ----------
+    networks:
+        The replicas to stack.
+    synapse_mode:
+        ``"exact"`` (bit-exact with the sequential engine) or ``"fused"``
+        (fully vectorised propagation; see the module docstring).
+    batched_external:
+        Optional ``f(step) -> (B, N)`` provider replacing the per-replica
+        ``external_input`` callables.  When given, the per-replica
+        providers are ignored (and their RNG streams are not consumed).
+    """
+
+    def __init__(
+        self,
+        networks: Sequence[SNNNetwork],
+        *,
+        synapse_mode: str = "exact",
+        batched_external: Optional[BatchedInputProvider] = None,
+    ) -> None:
+        if not networks:
+            raise BatchIncompatibleError("cannot batch zero networks")
+        if synapse_mode not in ("exact", "fused"):
+            raise ValueError(f"unknown synapse mode {synapse_mode!r}")
+        sizes = {net.size for net in networks}
+        if len(sizes) != 1:
+            raise BatchIncompatibleError(f"network sizes differ: {sorted(sizes)}")
+        kinds = {net.is_fixed_point for net in networks}
+        if len(kinds) != 1:
+            raise BatchIncompatibleError("cannot mix fixed-point and float64 populations")
+        modes = {(net.current_mode, net.tau_select) for net in networks}
+        if len(modes) != 1:
+            raise BatchIncompatibleError(f"current modes differ: {sorted(modes)}")
+
+        self.networks = list(networks)
+        self.batch_size = len(networks)
+        self.size = networks[0].size
+        self.synapse_mode = synapse_mode
+        self.is_fixed_point = networks[0].is_fixed_point
+        self.current_mode, self.tau_select = next(iter(modes))
+        self._batched_external = batched_external
+        self._externals = [net.external_input for net in networks]
+        self._synapses = _SynapseBatch(networks, synapse_mode)
+
+        shape = (self.batch_size, self.size)
+        # Copy the full per-replica simulation state — including the
+        # synaptic-current bookkeeping and last-fired masks — so stacking
+        # already-stepped ("warm") networks continues exactly where each
+        # sequential engine left off.
+        self._last_fired = np.stack(
+            [np.asarray(net._last_fired, dtype=bool) for net in networks]
+        )
+        self._fired = np.zeros(shape, dtype=bool)
+        self._current = np.stack(
+            [np.asarray(net.current_state.current, dtype=np.float64) for net in networks]
+        )
+        self._ext = np.zeros(shape, dtype=np.float64)
+        self._isyn_raw = np.zeros(shape, dtype=np.int64)
+        self._fscratch = np.zeros(shape, dtype=np.float64)
+
+        pops = [net.population for net in networks]
+        if self.is_fixed_point:
+            self._init_fixed(pops)
+        else:
+            self._init_float(pops)
+
+    # ------------------------------------------------------------------ #
+    # Stacking
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_networks(
+        cls,
+        networks: Sequence[SNNNetwork],
+        *,
+        synapse_mode: str = "exact",
+        batched_external: Optional[BatchedInputProvider] = None,
+    ) -> "BatchedNetwork":
+        """Stack a sequence of compatible :class:`SNNNetwork` instances."""
+        return cls(networks, synapse_mode=synapse_mode, batched_external=batched_external)
+
+    def _init_fixed(self, pops: Sequence[FixedPointPopulation]) -> None:
+        h_shifts = {p.h_shift for p in pops}
+        pins = {p.pin_voltage for p in pops}
+        if len(h_shifts) != 1 or len(pins) != 1:
+            raise BatchIncompatibleError("fixed-point timestep/pin configuration differs")
+        self.h_shift = pops[0].h_shift
+        self._substeps = pops[0].substeps_per_ms
+        self.v_raw = np.stack([p.v_raw for p in pops]).astype(np.int64)
+        self.u_raw = np.stack([p.u_raw for p in pops]).astype(np.int64)
+        self._kernel = _FixedBatchKernel(
+            np.stack([p.a_raw for p in pops]).astype(np.int64),
+            np.stack([p.b_raw for p in pops]).astype(np.int64),
+            np.stack([p.c_raw for p in pops]).astype(np.int64),
+            np.stack([p.d_raw for p in pops]).astype(np.int64),
+            h_shift=self.h_shift,
+            pin_voltage=pops[0].pin_voltage,
+        )
+
+    def _init_float(self, pops: Sequence[IzhikevichPopulation]) -> None:
+        substeps = {p.v_substeps for p in pops}
+        if len(substeps) != 1:
+            raise BatchIncompatibleError("float64 sub-step configuration differs")
+        self.h_shift = 1
+        self._v_substeps = pops[0].v_substeps
+        self.v = np.stack([p.v for p in pops]).astype(np.float64)
+        self.u = np.stack([p.u for p in pops]).astype(np.float64)
+        self._params = tuple(
+            np.stack([getattr(p, name) for p in pops]).astype(np.float64)
+            for name in ("a", "b", "c", "d")
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
+    def _external(self, step: int) -> np.ndarray:
+        if self._batched_external is not None:
+            ext = np.asarray(self._batched_external(step), dtype=np.float64)
+            if ext.shape != self._ext.shape:
+                raise ValueError(
+                    f"batched external input has shape {ext.shape}, "
+                    f"expected {self._ext.shape}"
+                )
+            return ext
+        for i, provider in enumerate(self._externals):
+            if provider is None:
+                self._ext[i] = 0.0
+            else:
+                self._ext[i] = np.asarray(provider(step), dtype=np.float64)
+        return self._ext
+
+    def _update_current(self, external: np.ndarray, synaptic: np.ndarray) -> np.ndarray:
+        # Mirrors CurrentState.update elementwise (hence bit-exact).
+        if self.current_mode == "recompute":
+            np.add(external, synaptic, out=self._current)
+        else:
+            raw = _quantize_q15_16(self._current, self._isyn_raw, self._fscratch)
+            raw = decay_current_raw(raw, self.tau_select, self.h_shift)
+            np.divide(raw, 65536.0, out=self._current)
+            self._current += external
+            self._current += synaptic
+        return self._current
+
+    def _advance_population(self, current: np.ndarray) -> np.ndarray:
+        fired = self._fired
+        if self.is_fixed_point:
+            isyn_raw = _quantize_q15_16(current, self._isyn_raw, self._fscratch)
+            fired[:] = False
+            for _ in range(self._substeps):
+                spike = self._kernel.substep(self.v_raw, self.u_raw, isyn_raw)
+                np.logical_or(fired, spike, out=fired)
+            return fired
+        a, b, c, d = self._params
+        self.v, self.u, fired_f = euler_step(
+            self.v, self.u, current, a, b, c, d, dt_ms=1.0, v_substeps=self._v_substeps
+        )
+        fired[:] = fired_f
+        return fired
+
+    def step(self, step_index: int) -> np.ndarray:
+        """Advance every replica by one 1 ms step; returns the ``(B, N)`` mask."""
+        external = self._external(step_index)
+        synaptic = self._synapses.propagate(self._last_fired)
+        current = self._update_current(external, synaptic)
+        fired = self._advance_population(current)
+        self._last_fired[:] = fired
+        return self._last_fired
+
+    def run(
+        self,
+        num_steps: int,
+        *,
+        record: bool = True,
+        progress_callback: Optional[Callable[[int, np.ndarray], None]] = None,
+        start_step: int = 0,
+    ) -> List[SpikeRaster]:
+        """Run ``num_steps`` steps; returns one :class:`SpikeRaster` per replica.
+
+        Parameters
+        ----------
+        record:
+            When false, spikes are not stored and empty rasters with
+            correct dimensions are returned.
+        progress_callback:
+            Invoked as ``cb(step, fired)`` with the ``(B, N)`` mask after
+            every step.
+        start_step:
+            Value of the first step index passed to the input providers
+            (the Sudoku solver counts steps from 1).
+        """
+        fired_matrix = (
+            np.zeros((num_steps, self.batch_size, self.size), dtype=bool) if record else None
+        )
+        for t in range(num_steps):
+            fired = self.step(start_step + t)
+            if fired_matrix is not None:
+                fired_matrix[t] = fired
+            if progress_callback is not None:
+                progress_callback(start_step + t, fired)
+        if fired_matrix is None:
+            return [SpikeRaster.empty(self.size, num_steps) for _ in range(self.batch_size)]
+        return [
+            SpikeRaster.from_bool_matrix(fired_matrix[:, b, :]) for b in range(self.batch_size)
+        ]
+
+    def reset_currents(self) -> None:
+        """Clear the synaptic-current state and the last-fired masks."""
+        self._current[:] = 0.0
+        self._last_fired[:] = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def membrane_potentials(self) -> np.ndarray:
+        """Float view of the ``(B, N)`` membrane potentials in millivolts."""
+        if self.is_fixed_point:
+            return self.v_raw.astype(np.float64) / Q7_8.scale
+        return np.array(self.v, copy=True)

@@ -1,0 +1,244 @@
+"""High-level sweep drivers built on the batch engine and sweep executor.
+
+Two sweep families cover the paper's evaluation workloads:
+
+* :func:`eighty_twenty_seed_sweep` — run the 80-20 cortical network for a
+  list of seeds.  With ``batched=True`` (default) the replicas are
+  stacked into one :class:`~repro.runtime.batch.BatchedNetwork` and
+  advanced in fused ``(B, N)`` updates; with ``batched=False`` the same
+  networks are run through the sequential ``SNNNetwork`` loop (the
+  baseline the batched-runtime benchmark measures against).
+* :func:`pooled_sudoku_sweep` — solve a generated puzzle set by fanning
+  one solver run per puzzle out over a
+  :class:`~repro.runtime.sweep.SweepExecutor` process pool.  (The
+  vectorised alternative, which runs all puzzles as one batched network,
+  is :meth:`repro.sudoku.solver.SNNSudokuSolver.solve_batch`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..snn.analysis import SpikeRaster, rhythm_summary
+from ..snn.eighty_twenty import EightyTwentyConfig
+from ..snn.network import SNNNetwork
+from .batch import BatchedNetwork
+from .backends import eighty_twenty_config, get_backend
+from .sweep import SweepExecutor, SweepTask
+
+__all__ = [
+    "SeedSweepResult",
+    "build_eighty_twenty_replicas",
+    "batched_thalamic_provider",
+    "eighty_twenty_seed_sweep",
+    "pooled_sudoku_sweep",
+]
+
+
+@dataclass
+class SeedSweepResult:
+    """Rasters plus per-replica rhythm summaries of one seed sweep."""
+
+    seeds: List[int]
+    rasters: List[SpikeRaster]
+    summaries: List[Dict[str, Any]]
+    backend: str
+    batched: bool
+
+    @property
+    def mean_rate_hz(self) -> float:
+        """Mean firing rate across all replicas."""
+        if not self.rasters:
+            return 0.0
+        return float(np.mean([r.mean_rate_hz() for r in self.rasters]))
+
+
+def build_eighty_twenty_replicas(
+    seeds: Sequence[int],
+    *,
+    backend: str = "fixed",
+    num_neurons: Optional[int] = None,
+    current_mode: str = "recompute",
+    h_shift: int = 1,
+) -> List[SNNNetwork]:
+    """One freshly built 80-20 network per seed (ready for stacking).
+
+    Every network draws its parameters, weights and thalamic-noise stream
+    from its own seeded generator, exactly as a sequential
+    :func:`repro.snn.eighty_twenty.run_eighty_twenty` call would.
+    """
+    sim_backend = get_backend(backend)
+    if not sim_backend.supports_batching:
+        raise ValueError(f"backend {backend!r} is not a network-level backend")
+    from .backends import RunRequest
+
+    return [
+        sim_backend.build_network(
+            RunRequest(
+                workload="eighty-twenty",
+                num_neurons=num_neurons,
+                seed=int(seed),
+                options={"current_mode": current_mode, "h_shift": h_shift},
+            )
+        )
+        for seed in seeds
+    ]
+
+
+def batched_thalamic_provider(
+    configs: Sequence[EightyTwentyConfig], *, seed: int = 0
+) -> Callable[[int], np.ndarray]:
+    """Fully-vectorised thalamic noise for a batch of 80-20 replicas.
+
+    Draws the whole ``(B, N)`` input in one generator call per step and
+    scales the excitatory/inhibitory columns, instead of two draws plus a
+    concatenation per replica.  The noise is statistically identical to
+    the per-replica streams but comes from a single batch generator, so
+    runs using this provider are *not* bit-comparable with sequential
+    per-replica runs — use per-replica providers (the default) for
+    equivalence checks.
+    """
+    profiles = {
+        (c.num_excitatory, c.num_inhibitory, c.thalamic_excitatory, c.thalamic_inhibitory)
+        for c in configs
+    }
+    if len(profiles) != 1:
+        raise ValueError(
+            "all replicas must share the excitatory/inhibitory split and thalamic scales"
+        )
+    num_exc, num_inh, _, _ = next(iter(profiles))
+    scale = np.concatenate(
+        [
+            np.full(num_exc, configs[0].thalamic_excitatory),
+            np.full(num_inh, configs[0].thalamic_inhibitory),
+        ]
+    )
+    rng = np.random.default_rng(seed)
+    batch = len(configs)
+
+    def provider(step: int) -> np.ndarray:
+        return rng.standard_normal((batch, num_exc + num_inh)) * scale
+
+    return provider
+
+
+def eighty_twenty_seed_sweep(
+    seeds: Sequence[int],
+    *,
+    num_steps: int = 1000,
+    backend: str = "fixed",
+    num_neurons: Optional[int] = None,
+    current_mode: str = "recompute",
+    batched: bool = True,
+    fused: bool = False,
+    noise_seed: Optional[int] = None,
+) -> SeedSweepResult:
+    """Run the 80-20 network once per seed and summarise every raster.
+
+    Parameters
+    ----------
+    batched:
+        ``True`` stacks the replicas into a :class:`BatchedNetwork`;
+        ``False`` runs the identical sequential loop (baseline).
+    fused:
+        With ``batched=True``, additionally vectorise the synaptic
+        propagation and the thalamic noise across the batch (the
+        high-throughput mode; see :mod:`repro.runtime.batch` for the
+        exactness trade-off).
+    noise_seed:
+        Seed of the batch noise generator in fused mode (defaults to the
+        first sweep seed).
+    """
+    seeds = [int(s) for s in seeds]
+    networks = build_eighty_twenty_replicas(
+        seeds, backend=backend, num_neurons=num_neurons, current_mode=current_mode
+    )
+    if not batched:
+        rasters = [net.run(num_steps) for net in networks]
+    elif fused:
+        configs = [eighty_twenty_config(num_neurons, seed) for seed in seeds]
+        provider = batched_thalamic_provider(
+            configs, seed=noise_seed if noise_seed is not None else seeds[0]
+        )
+        batch = BatchedNetwork.from_networks(
+            networks, synapse_mode="fused", batched_external=provider
+        )
+        rasters = batch.run(num_steps)
+    else:
+        batch = BatchedNetwork.from_networks(networks, synapse_mode="exact")
+        rasters = batch.run(num_steps)
+    summaries = []
+    for seed, raster in zip(seeds, rasters):
+        summary = rhythm_summary(raster)
+        summary["seed"] = seed
+        summary["backend"] = backend
+        summaries.append(summary)
+    return SeedSweepResult(
+        seeds=seeds, rasters=rasters, summaries=summaries, backend=backend, batched=batched
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Pooled Sudoku sweep (process-parallel, one solver run per puzzle)
+# ---------------------------------------------------------------------- #
+def _solve_one_sudoku(task: SweepTask) -> Dict[str, Any]:
+    """Module-level task function (picklable for the process pool)."""
+    from ..sudoku import SNNSudokuSolver
+    from ..sudoku.puzzles import PuzzleGenerator
+
+    params = task.params
+    generated = PuzzleGenerator().generate(
+        seed=int(params["puzzle_seed"]), target_clues=int(params["target_clues"])
+    )
+    solver = SNNSudokuSolver(seed=int(params.get("solver_seed", 7)))
+    result = solver.solve(
+        generated.puzzle,
+        max_steps=int(params["max_steps"]),
+        check_interval=int(params.get("check_interval", 10)),
+    )
+    return {
+        "puzzle_seed": int(params["puzzle_seed"]),
+        "num_clues": generated.num_clues,
+        "solved": result.solved,
+        "steps": result.steps,
+        "total_spikes": result.total_spikes,
+    }
+
+
+def pooled_sudoku_sweep(
+    count: int,
+    *,
+    base_seed: int = 1000,
+    target_clues: int = 30,
+    max_steps: int = 6000,
+    check_interval: int = 10,
+    executor: Optional[SweepExecutor] = None,
+) -> Dict[str, Any]:
+    """Solve ``count`` generated puzzles, optionally over a process pool.
+
+    Each task derives its puzzle from ``base_seed + index`` (matching
+    :func:`repro.sudoku.puzzles.generate_puzzle_set`), so results are
+    deterministic and identical between serial and process execution.
+    """
+    executor = executor if executor is not None else SweepExecutor(mode="serial")
+    param_sets = [
+        {
+            "puzzle_seed": base_seed + i,
+            "target_clues": target_clues,
+            "max_steps": max_steps,
+            "check_interval": check_interval,
+        }
+        for i in range(count)
+    ]
+    results = executor.run(_solve_one_sudoku, param_sets, base_seed=base_seed)
+    solved = sum(1 for r in results if r["solved"])
+    return {
+        "num_puzzles": count,
+        "solved": solved,
+        "solve_rate": solved / count if count else 0.0,
+        "mean_steps": float(np.mean([r["steps"] for r in results])) if results else 0.0,
+        "results": results,
+    }

@@ -218,8 +218,107 @@ class SNNSudokuSolver:
             matches_reference=matches,
         )
 
+    def solve_batch(
+        self,
+        puzzles: List[SudokuBoard],
+        *,
+        max_steps: int = 3000,
+        check_interval: int = 10,
+        verify_against_reference: bool = False,
+    ) -> List[SolveResult]:
+        """Solve ``B`` puzzles at once on the vectorised batch engine.
+
+        All puzzle networks are stacked into one
+        :class:`~repro.runtime.batch.BatchedNetwork` (they share the WTA
+        connectivity and differ only in drive and noise), so every 1 ms
+        step advances the whole batch in fused ``(B, 729)`` updates.  The
+        batch runs in the engine's *exact* mode, making each result
+        bit-identical to a sequential :meth:`solve` call on the same
+        puzzle — including the per-puzzle noise streams, decode windows
+        and step counts.  Replicas that solve early are frozen (their
+        result recorded) while the rest of the batch keeps running; the
+        run stops as soon as every replica has solved or ``max_steps`` is
+        reached.
+        """
+        from ..runtime.batch import BatchedNetwork
+
+        if not puzzles:
+            return []
+        for puzzle in puzzles:
+            if not puzzle.is_valid():
+                raise ValueError("puzzle contains conflicting clues")
+        cfg = self.config
+        networks = [self._build_network(p) for p in puzzles]
+        batch = BatchedNetwork.from_networks(networks, synapse_mode="exact")
+        num_puzzles = len(puzzles)
+        substeps = getattr(networks[0].population, "substeps_per_ms", 1)
+
+        window = max(1, cfg.decode_window)
+        history = np.zeros((window, num_puzzles, NUM_NEURONS), dtype=bool)
+        window_counts = np.zeros((num_puzzles, NUM_NEURONS), dtype=np.int64)
+        last_spike_step = np.full((num_puzzles, NUM_NEURONS), -1, dtype=np.int64)
+        total_spikes = np.zeros(num_puzzles, dtype=np.int64)
+        solved = np.zeros(num_puzzles, dtype=bool)
+        final_steps = np.full(num_puzzles, 0, dtype=np.int64)
+        boards: List[SudokuBoard] = [p.copy() for p in puzzles]
+        active = np.ones(num_puzzles, dtype=bool)
+
+        step = 0
+        for step in range(1, max_steps + 1):
+            fired = batch.step(step)
+            slot = step % window
+            window_counts -= history[slot]
+            history[slot] = fired
+            window_counts += fired
+            # Freeze the statistics of already-solved replicas so each
+            # result matches the sequential solve that stopped there.
+            active_fired = fired & active[:, None]
+            if active_fired.any():
+                last_spike_step[active_fired] = step
+                total_spikes += active_fired.sum(axis=1)
+            if step % check_interval == 0:
+                for b in np.flatnonzero(active):
+                    decoded = self.decode(window_counts[b], last_spike_step[b], puzzles[b])
+                    if decoded.is_solved() and decoded.respects_clues(puzzles[b]):
+                        solved[b] = True
+                        final_steps[b] = step
+                        boards[b] = decoded
+                        active[b] = False
+                if not active.any():
+                    break
+        for b in np.flatnonzero(active):
+            decoded = self.decode(window_counts[b], last_spike_step[b], puzzles[b])
+            solved[b] = decoded.is_solved() and decoded.respects_clues(puzzles[b])
+            final_steps[b] = step
+            boards[b] = decoded
+
+        results: List[SolveResult] = []
+        for b in range(num_puzzles):
+            matches = None
+            if verify_against_reference:
+                reference = BacktrackingSolver().solve(puzzles[b])
+                matches = reference is not None and bool(
+                    np.all(reference.cells == boards[b].cells)
+                )
+            results.append(
+                SolveResult(
+                    solved=bool(solved[b]),
+                    steps=int(final_steps[b]),
+                    board=boards[b],
+                    total_spikes=int(total_spikes[b]),
+                    neuron_updates=int(final_steps[b]) * NUM_NEURONS * substeps,
+                    matches_reference=matches,
+                )
+            )
+        return results
+
     def solve_many(
         self, puzzles: List[SudokuBoard], *, max_steps: int = 3000
     ) -> List[SolveResult]:
-        """Solve a list of puzzles (the Top-100-style sweep)."""
-        return [self.solve(p, max_steps=max_steps) for p in puzzles]
+        """Solve a list of puzzles (the Top-100-style sweep).
+
+        Thin wrapper over :meth:`solve_batch`, which advances all puzzles
+        together on the batched runtime while producing results
+        bit-identical to sequential :meth:`solve` calls.
+        """
+        return self.solve_batch(puzzles, max_steps=max_steps)

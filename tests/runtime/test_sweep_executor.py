@@ -1,0 +1,88 @@
+"""Determinism and ordering guarantees of the SweepExecutor."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import SweepExecutor, SweepTask, derive_task_seed
+
+
+def _echo_task(task: SweepTask):
+    """Module-level (picklable) task: derived seed drives an RNG draw."""
+    rng = np.random.default_rng(task.seed)
+    return {
+        "index": task.index,
+        "seed": task.seed,
+        "value": float(rng.uniform()),
+        "params": dict(task.params),
+    }
+
+
+def _functional_window_task(task: SweepTask):
+    """ISA-level task: run a tiny generated workload on the functional ISS."""
+    from repro.codegen import build_eighty_twenty_workload
+
+    workload = build_eighty_twenty_workload(
+        num_neurons=int(task.params["num_neurons"]),
+        num_steps=int(task.params["num_steps"]),
+        kind="extension",
+        seed=task.seed % (2**31),
+    )
+    fsim = workload.make_simulator()
+    fsim.run()
+    return {"instret": fsim.instret, "spikes": workload.total_spikes(fsim)}
+
+
+class TestSeedDerivation:
+    def test_derived_seeds_are_deterministic(self):
+        assert derive_task_seed(42, 0) == derive_task_seed(42, 0)
+        assert derive_task_seed(42, 0) != derive_task_seed(42, 1)
+        assert derive_task_seed(42, 0) != derive_task_seed(43, 0)
+
+    def test_tasks_carry_derived_seeds(self):
+        tasks = SweepExecutor.make_tasks([{"x": 1}, {"x": 2}], base_seed=9)
+        assert [t.index for t in tasks] == [0, 1]
+        assert tasks[0].seed == derive_task_seed(9, 0)
+        assert tasks[1].seed == derive_task_seed(9, 1)
+        assert tasks[1].params == {"x": 2}
+
+
+class TestExecutionModes:
+    PARAMS = [{"name": f"task-{i}"} for i in range(5)]
+
+    def test_serial_results_in_task_order(self):
+        results = SweepExecutor().run(_echo_task, self.PARAMS, base_seed=3)
+        assert [r["index"] for r in results] == list(range(5))
+        assert [r["params"]["name"] for r in results] == [p["name"] for p in self.PARAMS]
+
+    def test_serial_is_repeatable(self):
+        first = SweepExecutor().run(_echo_task, self.PARAMS, base_seed=3)
+        second = SweepExecutor().run(_echo_task, self.PARAMS, base_seed=3)
+        assert first == second
+
+    def test_process_pool_matches_serial(self):
+        serial = SweepExecutor().run(_echo_task, self.PARAMS, base_seed=3)
+        pooled = SweepExecutor(mode="process", max_workers=2).run(
+            _echo_task, self.PARAMS, base_seed=3
+        )
+        assert pooled == serial
+
+    def test_functional_sweep_deterministic_across_modes(self):
+        params = [{"num_neurons": 8, "num_steps": 1}, {"num_neurons": 12, "num_steps": 1}]
+        serial = SweepExecutor().run(_functional_window_task, params, base_seed=17)
+        pooled = SweepExecutor(mode="process", max_workers=2).run(
+            _functional_window_task, params, base_seed=17
+        )
+        assert pooled == serial
+        assert all(r["instret"] > 0 for r in serial)
+
+    def test_empty_sweep(self):
+        assert SweepExecutor().run(_echo_task, []) == []
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(mode="threads")
+
+    def test_map_seeds_uses_given_seeds(self):
+        results = SweepExecutor().map_seeds(_echo_task, [100, 200], extra={"tag": "s"})
+        assert [r["seed"] for r in results] == [100, 200]
+        assert all(r["params"]["tag"] == "s" for r in results)
