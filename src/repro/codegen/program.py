@@ -48,10 +48,14 @@ class Workload:
     program: Program
     source: str
 
-    def make_simulator(self) -> FunctionalSimulator:
-        """Create a fresh functional simulator pre-loaded with program + data."""
+    def make_simulator(self, *, fast_dispatch: bool = True) -> FunctionalSimulator:
+        """Create a fresh functional simulator pre-loaded with program + data.
+
+        ``fast_dispatch=False`` selects the legacy ``if/elif`` execution
+        chain (for differential testing and baseline benchmarks).
+        """
         memory = Memory(DEFAULT_MEMORY_MAP())
-        fsim = FunctionalSimulator(memory)
+        fsim = FunctionalSimulator(memory, fast_dispatch=fast_dispatch)
         fsim.load_program(self.program)
         for address, word in encode_network_data(self.spec, self.layout):
             memory.store_word(address, word)

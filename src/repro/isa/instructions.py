@@ -8,6 +8,7 @@ a :class:`DecodedInstr` used by the functional and cycle-level simulators.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Optional, Tuple
 
 from . import encoding as enc
@@ -175,7 +176,10 @@ class DecodedInstr:
     # ------------------------------------------------------------------ #
     # Operand/dependency views used by the hazard and forwarding logic
     # ------------------------------------------------------------------ #
-    @property
+    # ``cached_property`` works on a frozen dataclass because it writes to
+    # the instance ``__dict__`` directly; decoded instructions are immutable
+    # and the hazard unit queries these views once per issued instruction.
+    @cached_property
     def source_registers(self) -> Tuple[int, ...]:
         """Architectural registers read by this instruction (x0 excluded)."""
         srcs: List[int] = []
@@ -188,7 +192,7 @@ class DecodedInstr:
             srcs.append(self.rd)
         return tuple(r for r in srcs if r != 0)
 
-    @property
+    @cached_property
     def dest_register(self) -> Optional[int]:
         """Architectural register written by this instruction, if any."""
         if self.fmt in (InstrFormat.S, InstrFormat.B):
@@ -242,29 +246,38 @@ class IllegalInstructionError(Exception):
     """Raised when a word cannot be decoded into a known instruction."""
 
 
+# Decode lookup tables hoisted to module level so ``decode`` does not
+# rebuild them per call (the ISS decodes cold paths through here).
+_OP_TABLE = {
+    (0b000, 0b0000000): "add", (0b000, 0b0100000): "sub",
+    (0b001, 0b0000000): "sll", (0b010, 0b0000000): "slt",
+    (0b011, 0b0000000): "sltu", (0b100, 0b0000000): "xor",
+    (0b101, 0b0000000): "srl", (0b101, 0b0100000): "sra",
+    (0b110, 0b0000000): "or", (0b111, 0b0000000): "and",
+    (0b000, 0b0000001): "mul", (0b001, 0b0000001): "mulh",
+    (0b010, 0b0000001): "mulhsu", (0b011, 0b0000001): "mulhu",
+    (0b100, 0b0000001): "div", (0b101, 0b0000001): "divu",
+    (0b110, 0b0000001): "rem", (0b111, 0b0000001): "remu",
+}
+_OP_IMM_NAMES = {0b000: "addi", 0b010: "slti", 0b011: "sltiu", 0b100: "xori", 0b110: "ori", 0b111: "andi"}
+_BRANCH_NAMES = {0b000: "beq", 0b001: "bne", 0b100: "blt", 0b101: "bge", 0b110: "bltu", 0b111: "bgeu"}
+_LOAD_NAMES = {0b000: "lb", 0b001: "lh", 0b010: "lw", 0b100: "lbu", 0b101: "lhu"}
+_STORE_NAMES = {0b000: "sb", 0b001: "sh", 0b010: "sw"}
+_CSR_NAMES = {0b001: "csrrw", 0b010: "csrrs", 0b011: "csrrc"}
+_CUSTOM0_NAMES = {0b000: "nmldl", 0b001: "nmldh", 0b010: "nmpn", 0b011: "nmdec"}
+
+
 def _decode_op(word: int, f: dict) -> DecodedInstr:
     key = (f["funct3"], f["funct7"])
-    table = {
-        (0b000, 0b0000000): "add", (0b000, 0b0100000): "sub",
-        (0b001, 0b0000000): "sll", (0b010, 0b0000000): "slt",
-        (0b011, 0b0000000): "sltu", (0b100, 0b0000000): "xor",
-        (0b101, 0b0000000): "srl", (0b101, 0b0100000): "sra",
-        (0b110, 0b0000000): "or", (0b111, 0b0000000): "and",
-        (0b000, 0b0000001): "mul", (0b001, 0b0000001): "mulh",
-        (0b010, 0b0000001): "mulhsu", (0b011, 0b0000001): "mulhu",
-        (0b100, 0b0000001): "div", (0b101, 0b0000001): "divu",
-        (0b110, 0b0000001): "rem", (0b111, 0b0000001): "remu",
-    }
-    if key not in table:
+    if key not in _OP_TABLE:
         raise IllegalInstructionError(f"unknown OP encoding funct3={f['funct3']:#05b} funct7={f['funct7']:#09b}")
-    return DecodedInstr(table[key], InstrFormat.R, f["rd"], f["rs1"], f["rs2"], 0, word)
+    return DecodedInstr(_OP_TABLE[key], InstrFormat.R, f["rd"], f["rs1"], f["rs2"], 0, word)
 
 
 def _decode_op_imm(word: int, f: dict) -> DecodedInstr:
-    names = {0b000: "addi", 0b010: "slti", 0b011: "sltiu", 0b100: "xori", 0b110: "ori", 0b111: "andi"}
     f3 = f["funct3"]
-    if f3 in names:
-        return DecodedInstr(names[f3], InstrFormat.I, f["rd"], f["rs1"], 0, enc.imm_i(word), word)
+    if f3 in _OP_IMM_NAMES:
+        return DecodedInstr(_OP_IMM_NAMES[f3], InstrFormat.I, f["rd"], f["rs1"], 0, enc.imm_i(word), word)
     shamt = (word >> 20) & 0x1F
     if f3 == 0b001 and f["funct7"] == 0:
         return DecodedInstr("slli", InstrFormat.I, f["rd"], f["rs1"], 0, shamt, word)
@@ -276,12 +289,11 @@ def _decode_op_imm(word: int, f: dict) -> DecodedInstr:
 
 
 def _decode_custom0(word: int, f: dict) -> DecodedInstr:
-    names = {0b000: "nmldl", 0b001: "nmldh", 0b010: "nmpn", 0b011: "nmdec"}
     f3 = f["funct3"]
-    if f3 not in names:
+    if f3 not in _CUSTOM0_NAMES:
         raise IllegalInstructionError(f"unknown custom-0 funct3={f3:#05b}")
-    fmt = InstrFormat.N if names[f3] == "nmpn" else InstrFormat.R
-    return DecodedInstr(names[f3], fmt, f["rd"], f["rs1"], f["rs2"], 0, word)
+    fmt = InstrFormat.N if _CUSTOM0_NAMES[f3] == "nmpn" else InstrFormat.R
+    return DecodedInstr(_CUSTOM0_NAMES[f3], fmt, f["rd"], f["rs1"], f["rs2"], 0, word)
 
 
 def decode(word: int) -> DecodedInstr:
@@ -305,20 +317,17 @@ def decode(word: int) -> DecodedInstr:
     if op == enc.OPCODE_JALR:
         return DecodedInstr("jalr", InstrFormat.I, f["rd"], f["rs1"], 0, enc.imm_i(word), word)
     if op == enc.OPCODE_BRANCH:
-        names = {0b000: "beq", 0b001: "bne", 0b100: "blt", 0b101: "bge", 0b110: "bltu", 0b111: "bgeu"}
-        if f["funct3"] not in names:
+        if f["funct3"] not in _BRANCH_NAMES:
             raise IllegalInstructionError(f"unknown branch funct3={f['funct3']:#05b}")
-        return DecodedInstr(names[f["funct3"]], InstrFormat.B, 0, f["rs1"], f["rs2"], enc.imm_b(word), word)
+        return DecodedInstr(_BRANCH_NAMES[f["funct3"]], InstrFormat.B, 0, f["rs1"], f["rs2"], enc.imm_b(word), word)
     if op == enc.OPCODE_LOAD:
-        names = {0b000: "lb", 0b001: "lh", 0b010: "lw", 0b100: "lbu", 0b101: "lhu"}
-        if f["funct3"] not in names:
+        if f["funct3"] not in _LOAD_NAMES:
             raise IllegalInstructionError(f"unknown load funct3={f['funct3']:#05b}")
-        return DecodedInstr(names[f["funct3"]], InstrFormat.I, f["rd"], f["rs1"], 0, enc.imm_i(word), word)
+        return DecodedInstr(_LOAD_NAMES[f["funct3"]], InstrFormat.I, f["rd"], f["rs1"], 0, enc.imm_i(word), word)
     if op == enc.OPCODE_STORE:
-        names = {0b000: "sb", 0b001: "sh", 0b010: "sw"}
-        if f["funct3"] not in names:
+        if f["funct3"] not in _STORE_NAMES:
             raise IllegalInstructionError(f"unknown store funct3={f['funct3']:#05b}")
-        return DecodedInstr(names[f["funct3"]], InstrFormat.S, 0, f["rs1"], f["rs2"], enc.imm_s(word), word)
+        return DecodedInstr(_STORE_NAMES[f["funct3"]], InstrFormat.S, 0, f["rs1"], f["rs2"], enc.imm_s(word), word)
     if op == enc.OPCODE_OP_IMM:
         return _decode_op_imm(word, f)
     if op == enc.OPCODE_OP:
@@ -328,9 +337,8 @@ def decode(word: int) -> DecodedInstr:
     if op == enc.OPCODE_SYSTEM:
         if f["funct3"] == 0:
             return DecodedInstr("ebreak" if enc.imm_i(word) == 1 else "ecall", InstrFormat.I, 0, 0, 0, 0, word)
-        names = {0b001: "csrrw", 0b010: "csrrs", 0b011: "csrrc"}
-        if f["funct3"] in names:
-            return DecodedInstr(names[f["funct3"]], InstrFormat.I, f["rd"], f["rs1"], 0, (word >> 20) & 0xFFF, word)
+        if f["funct3"] in _CSR_NAMES:
+            return DecodedInstr(_CSR_NAMES[f["funct3"]], InstrFormat.I, f["rd"], f["rs1"], 0, (word >> 20) & 0xFFF, word)
         raise IllegalInstructionError(f"unknown SYSTEM funct3={f['funct3']:#05b}")
     if op == enc.OPCODE_CUSTOM0:
         return _decode_custom0(word, f)

@@ -12,9 +12,14 @@ This package makes *batches* of independent simulations the unit of work
     :class:`BatchedNetwork`, the vectorised batch engine stacking ``B``
     networks into ``(B, N)`` state arrays advanced by fused updates;
     bit-exact with the sequential engine in its default mode.
+:mod:`repro.runtime.cache`
+    :class:`RunResultCache`, a content-addressed on-disk cache serving
+    repeated backend runs without recomputation (keyed by backend name,
+    request and a fingerprint of the ``repro`` sources).
 :mod:`repro.runtime.sweep`
     :class:`SweepExecutor`, fanning non-vectorisable ISA-level runs out
-    over a process pool with deterministic per-task seeding.
+    over a process pool with deterministic per-task seeding (with a
+    warned serial fallback when the task function cannot be pickled).
 :mod:`repro.runtime.workloads`
     Sweep drivers for the paper's workloads: batched 80-20 seed sweeps
     and pooled Sudoku solve-rate sweeps.
@@ -31,6 +36,7 @@ from .backends import (
     run_on_backend,
 )
 from .batch import BatchedNetwork, BatchIncompatibleError
+from .cache import RunResultCache, code_fingerprint, default_cache
 from .sweep import SweepExecutor, SweepTask, derive_task_seed
 from .workloads import (
     SeedSweepResult,
@@ -38,6 +44,7 @@ from .workloads import (
     build_eighty_twenty_replicas,
     eighty_twenty_seed_sweep,
     pooled_sudoku_sweep,
+    run_many_on_backend,
 )
 
 __all__ = [
@@ -51,6 +58,9 @@ __all__ = [
     "run_on_backend",
     "BatchedNetwork",
     "BatchIncompatibleError",
+    "RunResultCache",
+    "code_fingerprint",
+    "default_cache",
     "SweepExecutor",
     "SweepTask",
     "derive_task_seed",
@@ -59,4 +69,5 @@ __all__ = [
     "build_eighty_twenty_replicas",
     "eighty_twenty_seed_sweep",
     "pooled_sudoku_sweep",
+    "run_many_on_backend",
 ]

@@ -43,13 +43,14 @@ Registering a new backend::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Protocol, runtime_checkable
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Union, runtime_checkable
 
 import numpy as np
 
 from ..snn.analysis import SpikeRaster
 from ..snn.eighty_twenty import EightyTwentyConfig, build_eighty_twenty
 from ..snn.network import SNNNetwork
+from .cache import RunResultCache, resolve_cache
 
 __all__ = [
     "RunRequest",
@@ -324,9 +325,29 @@ def available_backends() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def run_on_backend(name: str, request: RunRequest) -> RunResult:
-    """Convenience: ``get_backend(name).run(request)``."""
-    return get_backend(name).run(request)
+def run_on_backend(
+    name: str,
+    request: RunRequest,
+    *,
+    cache: Union[None, bool, RunResultCache] = None,
+) -> RunResult:
+    """Run ``request`` on the named backend, optionally through a cache.
+
+    Parameters
+    ----------
+    cache:
+        ``None`` (default) honours the ``REPRO_RUN_CACHE`` environment
+        switch; ``True``/``False`` force the default on-disk
+        :class:`~repro.runtime.cache.RunResultCache` on/off; an explicit
+        instance is used as-is.  A cached run is served without invoking
+        the backend at all (the cache key covers backend name, the full
+        request, and a fingerprint of the ``repro`` sources).
+    """
+    backend = get_backend(name)
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return backend.run(request)
+    return resolved.load_or_run(backend, request)
 
 
 register_backend(

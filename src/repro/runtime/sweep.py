@@ -24,6 +24,8 @@ single :class:`SweepTask` argument.
 from __future__ import annotations
 
 import os
+import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
@@ -87,6 +89,7 @@ class SweepExecutor:
             raise ValueError(f"unknown executor mode {mode!r}")
         self.mode = mode
         self.max_workers = max_workers
+        self._pickle_fallback_warned = False
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -120,11 +123,38 @@ class SweepExecutor:
             return []
         if self.mode == "serial" or len(tasks) == 1:
             return [fn(task) for task in tasks]
+        # Pre-flight the pool's pickling requirement: the function once
+        # (lambdas, closures and bound methods cannot cross a process
+        # boundary), then each task, stopping at the first failure.  This
+        # keeps execution errors raised by task bodies untouched — only
+        # genuine serialization failures trigger the promised fallback of
+        # running the whole sweep inline (with a one-time warning per
+        # executor).
+        try:
+            pickle.dumps(fn)
+            for task in tasks:
+                pickle.dumps(task)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            return self._serial_fallback(fn, tasks, exc)
         workers = self.max_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(tasks)))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_invoke, fn, task) for task in tasks]
             return [future.result() for future in futures]
+
+    def _serial_fallback(
+        self, fn: Callable[[SweepTask], Any], tasks: Sequence[SweepTask], exc: Exception
+    ) -> List[Any]:
+        if not self._pickle_fallback_warned:
+            self._pickle_fallback_warned = True
+            warnings.warn(
+                f"sweep task function {getattr(fn, '__qualname__', repr(fn))} (or its task "
+                f"parameters) cannot be pickled for process execution ({exc}); "
+                f"falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        return [fn(task) for task in tasks]
 
     def map_seeds(
         self,

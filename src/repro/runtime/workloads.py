@@ -26,7 +26,8 @@ from ..snn.analysis import SpikeRaster, rhythm_summary
 from ..snn.eighty_twenty import EightyTwentyConfig
 from ..snn.network import SNNNetwork
 from .batch import BatchedNetwork
-from .backends import eighty_twenty_config, get_backend
+from .backends import RunRequest, RunResult, eighty_twenty_config, get_backend, run_on_backend
+from .cache import RunResultCache
 from .sweep import SweepExecutor, SweepTask
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "batched_thalamic_provider",
     "eighty_twenty_seed_sweep",
     "pooled_sudoku_sweep",
+    "run_many_on_backend",
 ]
 
 
@@ -179,6 +181,38 @@ def eighty_twenty_seed_sweep(
     return SeedSweepResult(
         seeds=seeds, rasters=rasters, summaries=summaries, backend=backend, batched=batched
     )
+
+
+# ---------------------------------------------------------------------- #
+# Generic backend fan-out (ISA/cycle-level sweeps with result caching)
+# ---------------------------------------------------------------------- #
+def _run_request_task(task: SweepTask) -> RunResult:
+    """Module-level task function (picklable for the process pool)."""
+    params = task.params
+    return run_on_backend(params["backend"], params["request"], cache=params["cache"])
+
+
+def run_many_on_backend(
+    name: str,
+    requests: Sequence[RunRequest],
+    *,
+    executor: Optional[SweepExecutor] = None,
+    cache: Optional[RunResultCache] = None,
+) -> List[RunResult]:
+    """Run many independent requests on one backend, results in order.
+
+    ISA- and cycle-level backends cannot be stacked into NumPy batches,
+    so the requests fan out over a
+    :class:`~repro.runtime.sweep.SweepExecutor` (serial by default,
+    process-parallel when an executor with ``mode="process"`` is passed).
+    With ``cache`` set, each run goes through
+    :class:`~repro.runtime.cache.RunResultCache` — repeated sweeps, and
+    sweeps sharing requests, skip recomputation entirely (the on-disk
+    store is shared between pool workers).
+    """
+    executor = executor if executor is not None else SweepExecutor(mode="serial")
+    param_sets = [{"backend": name, "request": request, "cache": cache} for request in requests]
+    return executor.run(_run_request_task, param_sets)
 
 
 # ---------------------------------------------------------------------- #

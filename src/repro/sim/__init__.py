@@ -16,6 +16,8 @@ from .dcu import DCU, SHIFT_SELECTIONS, approx_divide, approximation_error, appr
 from .functional import (
     ExecRecord,
     FunctionalSimulator,
+    MMIO_BASE,
+    MMIO_CYCLE_LOW,
     MMIO_HALT,
     MMIO_PRINT_INT,
     MMIO_PUTCHAR,
@@ -23,7 +25,7 @@ from .functional import (
 )
 from .memory import DEFAULT_MEMORY_MAP, Memory, MemoryError32, MemoryMap, Region
 from .multicore import MultiCoreSystem, SystemResult
-from .npu import NMConfig, NPU, SPIKE_THRESHOLD_MV, izhikevich_update_raw
+from .npu import NMConfig, NPU, SPIKE_THRESHOLD_MV, izhikevich_update_raw, izhikevich_update_scalar
 from .perfcounters import N_IZH_OPS, PerfCounters
 from .pipeline import HAZARD_EX_PRODUCER, HAZARD_LOAD_USE, CoreConfig, CycleAccurateCore
 
@@ -43,6 +45,8 @@ __all__ = [
     "ExecRecord",
     "FunctionalSimulator",
     "SimulationError",
+    "MMIO_BASE",
+    "MMIO_CYCLE_LOW",
     "MMIO_HALT",
     "MMIO_PRINT_INT",
     "MMIO_PUTCHAR",
@@ -57,6 +61,7 @@ __all__ = [
     "NPU",
     "SPIKE_THRESHOLD_MV",
     "izhikevich_update_raw",
+    "izhikevich_update_scalar",
     "N_IZH_OPS",
     "PerfCounters",
     "CoreConfig",

@@ -153,10 +153,24 @@ class DCU:
         -------
         The decayed Q15.16 current as an unsigned 32-bit word (``rd``).
         """
+        # Scalar fast path (pure integers): arithmetic shifts on Python
+        # ints match the int64 array path of decay_raw bit for bit; the
+        # equivalence is pinned by tests/sim/test_dispatch.py.
         tau_select = tau_word & 0xF
-        isyn_raw = Q15_16.from_unsigned(isyn_word & 0xFFFFFFFF)
-        decayed = self.decay_raw(isyn_raw, tau_select)
-        return Q15_16.to_unsigned(decayed)
+        if not TAU_SELECT_MIN <= tau_select <= TAU_SELECT_MAX:
+            raise ValueError(f"tau select {tau_select} outside [{TAU_SELECT_MIN}, {TAU_SELECT_MAX}]")
+        isyn_raw = isyn_word & 0xFFFFFFFF
+        if isyn_raw & 0x8000_0000:
+            isyn_raw -= 0x1_0000_0000
+        delta = 0
+        for shift in SHIFT_SELECTIONS[tau_select]:
+            delta += isyn_raw >> shift
+        out = isyn_raw - (delta >> self.config.h_shift)
+        if out < -0x8000_0000:
+            out = -0x8000_0000
+        elif out > 0x7FFF_FFFF:
+            out = 0x7FFF_FFFF
+        return out & 0xFFFFFFFF
 
     def decay_float(self, isyn: float, tau_select: int) -> float:
         """Apply one decay step to a real-valued current (convenience)."""

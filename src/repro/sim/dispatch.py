@@ -1,0 +1,554 @@
+"""Predecoded execution handlers for the functional ISS fast path.
+
+The legacy :meth:`FunctionalSimulator._execute` retires every instruction
+through a ~60-branch ``if/elif`` chain, re-deriving operand indices,
+signedness conversions and the immediate on every execution.  This module
+compiles each :class:`~repro.isa.instructions.DecodedInstr` **once**, at
+decode time, into a pair of closures bound to the simulator instance:
+
+``record(pc) -> ExecRecord``
+    Full-fidelity execution used by :meth:`FunctionalSimulator.step`; the
+    cycle-level pipeline consumes these records for its timing model.
+``fast(pc) -> next_pc``
+    The same architectural semantics without the :class:`ExecRecord`
+    allocation, used by the trace-free :meth:`FunctionalSimulator.run`
+    inner loop.
+
+Both closures come out of one builder per opcode (registered in
+``_BUILDERS``), so the two paths cannot drift apart; the builders
+specialise at compile time on the decoded operand indices (skipping x0
+writes, folding immediates) which is where the speedup over the legacy
+chain comes from.  Bit-identical behaviour against the legacy chain is
+locked down by ``tests/sim/test_dispatch.py``.
+
+Handlers capture ``sim.regs``, ``sim.memory``, ``sim.npu`` and
+``sim.dcu`` by reference.  Replacing any of those attributes after
+execution started requires
+:meth:`FunctionalSimulator.invalidate_dispatch` (loading a new program
+does this automatically).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Tuple
+
+from ..isa.instructions import DecodedInstr
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .functional import ExecRecord, FunctionalSimulator
+
+__all__ = ["compile_entry"]
+
+MASK32 = 0xFFFFFFFF
+_SIGN32 = 0x8000_0000
+_TWO32 = 1 << 32
+
+#: ``record(pc) -> ExecRecord`` and ``fast(pc) -> next_pc`` closure pair.
+HandlerPair = Tuple[Callable[[int], "ExecRecord"], Callable[[int], int]]
+Builder = Callable[["FunctionalSimulator", DecodedInstr], HandlerPair]
+
+_BUILDERS: Dict[str, Builder] = {}
+
+
+def _register(name: str) -> Callable[[Builder], Builder]:
+    def add(builder: Builder) -> Builder:
+        _BUILDERS[name] = builder
+        return builder
+
+    return add
+
+
+def _plain_pair(instr: DecodedInstr, fast: Callable[[int], int]) -> HandlerPair:
+    """Wrap a straight-line handler (no memory access, no redirect)."""
+    from .functional import ExecRecord
+
+    def record(pc: int) -> "ExecRecord":
+        return ExecRecord(pc=pc, instr=instr, next_pc=fast(pc))
+
+    return record, fast
+
+
+# ---------------------------------------------------------------------- #
+# ALU families (register-immediate and register-register)
+# ---------------------------------------------------------------------- #
+def _op_imm(op: Callable[[int, int], int]) -> Builder:
+    """Register-immediate ALU family: ``rd <- op(rs1_u, imm) & MASK32``."""
+
+    def build(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+        regs, rd, rs1, imm = sim.regs, instr.rd, instr.rs1, instr.imm
+        if rd == 0:
+
+            def fast(pc: int) -> int:
+                return (pc + 4) & MASK32
+
+        else:
+
+            def fast(pc: int) -> int:
+                regs[rd] = op(regs[rs1] if rs1 else 0, imm) & MASK32
+                return (pc + 4) & MASK32
+
+        return _plain_pair(instr, fast)
+
+    return build
+
+
+def _op_rr(op: Callable[[int, int], int]) -> Builder:
+    """Register-register ALU family: ``rd <- op(rs1_u, rs2_u) & MASK32``."""
+
+    def build(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+        regs, rd, rs1, rs2 = sim.regs, instr.rd, instr.rs1, instr.rs2
+        if rd == 0:
+
+            def fast(pc: int) -> int:
+                return (pc + 4) & MASK32
+
+        else:
+
+            def fast(pc: int) -> int:
+                regs[rd] = op(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0) & MASK32
+                return (pc + 4) & MASK32
+
+        return _plain_pair(instr, fast)
+
+    return build
+
+
+def _s32(x: int) -> int:
+    """Two's-complement reinterpretation of an unsigned 32-bit value."""
+    return x - _TWO32 if x & _SIGN32 else x
+
+
+def _div(a: int, b: int) -> int:
+    a, b = _s32(a), _s32(b)
+    if b == 0:
+        return MASK32
+    if a == -(1 << 31) and b == -1:
+        return a
+    return int(abs(a) // abs(b)) * (1 if (a < 0) == (b < 0) else -1)
+
+
+def _rem(a: int, b: int) -> int:
+    a, b = _s32(a), _s32(b)
+    if b == 0:
+        return a
+    if a == -(1 << 31) and b == -1:
+        return 0
+    return a - (int(abs(a) // abs(b)) * (1 if (a < 0) == (b < 0) else -1)) * b
+
+
+@_register("addi")
+def _build_addi(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    # The single hottest opcode: fold a constant result when rs1 is x0
+    # (the assembler's ``li`` expansion) and skip x0 destinations.
+    regs, rd, rs1, imm = sim.regs, instr.rd, instr.rs1, instr.imm
+    if rd == 0:
+
+        def fast(pc: int) -> int:
+            return (pc + 4) & MASK32
+
+    elif rs1 == 0:
+        value = imm & MASK32
+
+        def fast(pc: int) -> int:
+            regs[rd] = value
+            return (pc + 4) & MASK32
+
+    else:
+
+        def fast(pc: int) -> int:
+            regs[rd] = (regs[rs1] + imm) & MASK32
+            return (pc + 4) & MASK32
+
+    return _plain_pair(instr, fast)
+
+
+_BUILDERS["slti"] = _op_imm(lambda a, imm: int(_s32(a) < imm))
+_BUILDERS["sltiu"] = _op_imm(lambda a, imm: int(a < (imm & MASK32)))
+_BUILDERS["xori"] = _op_imm(lambda a, imm: a ^ (imm & MASK32))
+_BUILDERS["ori"] = _op_imm(lambda a, imm: a | (imm & MASK32))
+_BUILDERS["andi"] = _op_imm(lambda a, imm: a & (imm & MASK32))
+_BUILDERS["slli"] = _op_imm(lambda a, imm: a << (imm & 0x1F))
+_BUILDERS["srli"] = _op_imm(lambda a, imm: a >> (imm & 0x1F))
+_BUILDERS["srai"] = _op_imm(lambda a, imm: _s32(a) >> (imm & 0x1F))
+
+_BUILDERS["add"] = _op_rr(lambda a, b: a + b)
+_BUILDERS["sub"] = _op_rr(lambda a, b: a - b)
+_BUILDERS["sll"] = _op_rr(lambda a, b: a << (b & 0x1F))
+_BUILDERS["slt"] = _op_rr(lambda a, b: int(_s32(a) < _s32(b)))
+_BUILDERS["sltu"] = _op_rr(lambda a, b: int(a < b))
+_BUILDERS["xor"] = _op_rr(lambda a, b: a ^ b)
+_BUILDERS["srl"] = _op_rr(lambda a, b: a >> (b & 0x1F))
+_BUILDERS["sra"] = _op_rr(lambda a, b: _s32(a) >> (b & 0x1F))
+_BUILDERS["or"] = _op_rr(lambda a, b: a | b)
+_BUILDERS["and"] = _op_rr(lambda a, b: a & b)
+
+_BUILDERS["mul"] = _op_rr(lambda a, b: _s32(a) * _s32(b))
+_BUILDERS["mulh"] = _op_rr(lambda a, b: (_s32(a) * _s32(b)) >> 32)
+_BUILDERS["mulhsu"] = _op_rr(lambda a, b: (_s32(a) * b) >> 32)
+_BUILDERS["mulhu"] = _op_rr(lambda a, b: (a * b) >> 32)
+_BUILDERS["div"] = _op_rr(_div)
+_BUILDERS["divu"] = _op_rr(lambda a, b: MASK32 if b == 0 else a // b)
+_BUILDERS["rem"] = _op_rr(_rem)
+_BUILDERS["remu"] = _op_rr(lambda a, b: a if b == 0 else a % b)
+
+
+# ---------------------------------------------------------------------- #
+# Upper immediates
+# ---------------------------------------------------------------------- #
+@_register("lui")
+def _build_lui(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    regs, rd = sim.regs, instr.rd
+    value = instr.imm & MASK32
+
+    def fast(pc: int) -> int:
+        if rd:
+            regs[rd] = value
+        return (pc + 4) & MASK32
+
+    return _plain_pair(instr, fast)
+
+
+@_register("auipc")
+def _build_auipc(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    regs, rd, imm = sim.regs, instr.rd, instr.imm
+
+    def fast(pc: int) -> int:
+        if rd:
+            regs[rd] = (pc + imm) & MASK32
+        return (pc + 4) & MASK32
+
+    return _plain_pair(instr, fast)
+
+
+# ---------------------------------------------------------------------- #
+# Control transfer
+# ---------------------------------------------------------------------- #
+@_register("jal")
+def _build_jal(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    from .functional import ExecRecord
+
+    regs, rd, imm = sim.regs, instr.rd, instr.imm
+
+    def fast(pc: int) -> int:
+        if rd:
+            regs[rd] = (pc + 4) & MASK32
+        return (pc + imm) & MASK32
+
+    def record(pc: int) -> "ExecRecord":
+        return ExecRecord(pc=pc, instr=instr, next_pc=fast(pc), control_transfer=True)
+
+    return record, fast
+
+
+@_register("jalr")
+def _build_jalr(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    from .functional import ExecRecord
+
+    regs, rd, rs1, imm = sim.regs, instr.rd, instr.rs1, instr.imm
+
+    def fast(pc: int) -> int:
+        # The target reads rs1 before the link write (rd may equal rs1).
+        target = ((regs[rs1] if rs1 else 0) + imm) & ~1 & MASK32
+        if rd:
+            regs[rd] = (pc + 4) & MASK32
+        return target
+
+    def record(pc: int) -> "ExecRecord":
+        return ExecRecord(pc=pc, instr=instr, next_pc=fast(pc), control_transfer=True)
+
+    return record, fast
+
+
+def _branch(taken: Callable[[int, int], bool]) -> Builder:
+    def build(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+        from .functional import ExecRecord
+
+        regs, rs1, rs2, imm = sim.regs, instr.rs1, instr.rs2, instr.imm
+
+        def fast(pc: int) -> int:
+            if taken(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0):
+                return (pc + imm) & MASK32
+            return (pc + 4) & MASK32
+
+        def record(pc: int) -> "ExecRecord":
+            if taken(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0):
+                return ExecRecord(
+                    pc=pc, instr=instr, next_pc=(pc + imm) & MASK32, control_transfer=True
+                )
+            return ExecRecord(pc=pc, instr=instr, next_pc=(pc + 4) & MASK32)
+
+        return record, fast
+
+    return build
+
+
+_BUILDERS["beq"] = _branch(lambda a, b: a == b)
+_BUILDERS["bne"] = _branch(lambda a, b: a != b)
+_BUILDERS["blt"] = _branch(lambda a, b: _s32(a) < _s32(b))
+_BUILDERS["bge"] = _branch(lambda a, b: _s32(a) >= _s32(b))
+_BUILDERS["bltu"] = _branch(lambda a, b: a < b)
+_BUILDERS["bgeu"] = _branch(lambda a, b: a >= b)
+
+
+# ---------------------------------------------------------------------- #
+# Memory
+# ---------------------------------------------------------------------- #
+def _load_lw(mem, address: int) -> int:
+    return mem.load_word(address)
+
+
+def _load_lh(mem, address: int) -> int:
+    value = mem.load_half(address)
+    return value | 0xFFFF0000 if value & 0x8000 else value
+
+
+def _load_lhu(mem, address: int) -> int:
+    return mem.load_half(address)
+
+
+def _load_lb(mem, address: int) -> int:
+    value = mem.load_byte(address)
+    return value | 0xFFFFFF00 if value & 0x80 else value
+
+
+def _load_lbu(mem, address: int) -> int:
+    return mem.load_byte(address)
+
+
+def _load(load_mem: Callable[[object, int], int]) -> Builder:
+    def build(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+        from .functional import MMIO_BASE, ExecRecord
+
+        regs, rd, rs1, imm = sim.regs, instr.rd, instr.rs1, instr.imm
+        mem, name = sim.memory, instr.name
+
+        def fast(pc: int) -> int:
+            address = ((regs[rs1] if rs1 else 0) + imm) & MASK32
+            if address >= MMIO_BASE:
+                value = sim._mmio_load(address, name)
+            else:
+                value = load_mem(mem, address)
+            if rd:
+                regs[rd] = value
+            return (pc + 4) & MASK32
+
+        def record(pc: int) -> "ExecRecord":
+            address = ((regs[rs1] if rs1 else 0) + imm) & MASK32
+            if address >= MMIO_BASE:
+                value = sim._mmio_load(address, name)
+            else:
+                value = load_mem(mem, address)
+            if rd:
+                regs[rd] = value
+            return ExecRecord(pc=pc, instr=instr, next_pc=(pc + 4) & MASK32, mem_address=address)
+
+        return record, fast
+
+    return build
+
+
+_BUILDERS["lw"] = _load(_load_lw)
+_BUILDERS["lh"] = _load(_load_lh)
+_BUILDERS["lhu"] = _load(_load_lhu)
+_BUILDERS["lb"] = _load(_load_lb)
+_BUILDERS["lbu"] = _load(_load_lbu)
+
+
+def _store(store_mem: Callable[[object, int, int], None]) -> Builder:
+    def build(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+        from .functional import MMIO_BASE, ExecRecord
+
+        regs, rs1, rs2, imm = sim.regs, instr.rs1, instr.rs2, instr.imm
+        mem = sim.memory
+
+        def fast(pc: int) -> int:
+            address = ((regs[rs1] if rs1 else 0) + imm) & MASK32
+            value = regs[rs2] if rs2 else 0
+            if address >= MMIO_BASE:
+                sim._mmio_store(address, value)
+            else:
+                store_mem(mem, address, value)
+            return (pc + 4) & MASK32
+
+        def record(pc: int) -> "ExecRecord":
+            address = ((regs[rs1] if rs1 else 0) + imm) & MASK32
+            value = regs[rs2] if rs2 else 0
+            if address >= MMIO_BASE:
+                sim._mmio_store(address, value)
+            else:
+                store_mem(mem, address, value)
+            return ExecRecord(
+                pc=pc,
+                instr=instr,
+                next_pc=(pc + 4) & MASK32,
+                mem_address=address,
+                mem_is_write=True,
+            )
+
+        return record, fast
+
+    return build
+
+
+_BUILDERS["sw"] = _store(lambda mem, address, value: mem.store_word(address, value))
+_BUILDERS["sh"] = _store(lambda mem, address, value: mem.store_half(address, value))
+_BUILDERS["sb"] = _store(lambda mem, address, value: mem.store_byte(address, value))
+
+
+# ---------------------------------------------------------------------- #
+# System
+# ---------------------------------------------------------------------- #
+@_register("fence")
+def _build_fence(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    def fast(pc: int) -> int:
+        return (pc + 4) & MASK32
+
+    return _plain_pair(instr, fast)
+
+
+@_register("ecall")
+def _build_ecall(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    def fast(pc: int) -> int:
+        sim._ecall()
+        return (pc + 4) & MASK32
+
+    return _plain_pair(instr, fast)
+
+
+@_register("ebreak")
+def _build_ebreak(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    def fast(pc: int) -> int:
+        sim.halted = True
+        return (pc + 4) & MASK32
+
+    return _plain_pair(instr, fast)
+
+
+def _csr(update: Callable[[int, int, int], int], write_when_rs1_zero: bool) -> Builder:
+    """Zicsr family; ``update(old, src, csr)`` returns the new CSR value."""
+
+    def build(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+        regs, rd, rs1, csr = sim.regs, instr.rd, instr.rs1, instr.imm
+        csrs = sim.csrs
+        write_csr = write_when_rs1_zero or rs1 != 0
+
+        def fast(pc: int) -> int:
+            old = csrs.get(csr, 0)
+            src = regs[rs1] if rs1 else 0  # read rs1 before a possible rd write
+            if rd:
+                regs[rd] = old & MASK32
+            if write_csr:
+                csrs[csr] = update(old, src, csr)
+            return (pc + 4) & MASK32
+
+        return _plain_pair(instr, fast)
+
+    return build
+
+
+_BUILDERS["csrrw"] = _csr(lambda old, src, csr: src, True)
+_BUILDERS["csrrs"] = _csr(lambda old, src, csr: old | src, False)
+_BUILDERS["csrrc"] = _csr(lambda old, src, csr: old & ~src & MASK32, False)
+
+
+# ---------------------------------------------------------------------- #
+# Neuromorphic extension
+# ---------------------------------------------------------------------- #
+@_register("nmldl")
+def _build_nmldl(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    regs, rd, rs1, rs2 = sim.regs, instr.rd, instr.rs1, instr.rs2
+    nm_config = sim.nm_config
+
+    def fast(pc: int) -> int:
+        nm_config.load_params_words(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0)
+        if rd:
+            regs[rd] = 1
+        return (pc + 4) & MASK32
+
+    return _plain_pair(instr, fast)
+
+
+@_register("nmldh")
+def _build_nmldh(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    regs, rd, rs1 = sim.regs, instr.rd, instr.rs1
+    nm_config = sim.nm_config
+
+    def fast(pc: int) -> int:
+        nm_config.load_timestep_word(regs[rs1] if rs1 else 0)
+        if rd:
+            regs[rd] = 1
+        return (pc + 4) & MASK32
+
+    return _plain_pair(instr, fast)
+
+
+@_register("nmpn")
+def _build_nmpn(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    from .functional import ExecRecord
+
+    regs, rd, rs1, rs2 = sim.regs, instr.rd, instr.rs1, instr.rs2
+    mem, npu = sim.memory, sim.npu
+
+    def fast(pc: int) -> int:
+        vu_address = regs[rd] if rd else 0
+        new_vu, spike = npu.execute_nmpn(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0)
+        mem.store_word(vu_address, new_vu)
+        if rd:
+            regs[rd] = spike
+        sim.spike_count += spike
+        return (pc + 4) & MASK32
+
+    def record(pc: int) -> "ExecRecord":
+        vu_address = regs[rd] if rd else 0
+        new_vu, spike = npu.execute_nmpn(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0)
+        mem.store_word(vu_address, new_vu)
+        if rd:
+            regs[rd] = spike
+        sim.spike_count += spike
+        return ExecRecord(
+            pc=pc,
+            instr=instr,
+            next_pc=(pc + 4) & MASK32,
+            mem_address=vu_address,
+            mem_is_write=True,
+            spike=spike,
+        )
+
+    return record, fast
+
+
+@_register("nmdec")
+def _build_nmdec(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    regs, rd, rs1, rs2 = sim.regs, instr.rd, instr.rs1, instr.rs2
+    dcu = sim.dcu
+
+    def fast(pc: int) -> int:
+        value = dcu.execute_nmdec(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0)
+        if rd:
+            regs[rd] = value & MASK32
+        return (pc + 4) & MASK32
+
+    return _plain_pair(instr, fast)
+
+
+# ---------------------------------------------------------------------- #
+# Entry point
+# ---------------------------------------------------------------------- #
+def compile_entry(sim: "FunctionalSimulator", instr: DecodedInstr) -> HandlerPair:
+    """Compile ``instr`` into a ``(record, fast)`` handler pair for ``sim``.
+
+    Unknown mnemonics (e.g. future extensions registered without a
+    builder) fall back to the legacy ``_execute`` chain, so the fast path
+    can never change which instructions are executable.
+    """
+    builder = _BUILDERS.get(instr.name)
+    if builder is None:
+
+        def record(pc: int) -> "ExecRecord":
+            return sim._execute(pc, instr)
+
+        def fast(pc: int) -> int:
+            return sim._execute(pc, instr).next_pc
+
+        return record, fast
+    return builder(sim, instr)

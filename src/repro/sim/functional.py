@@ -20,13 +20,13 @@ Program termination follows a small environment convention:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..isa.encoding import sign_extend, to_signed32, to_unsigned32
-from ..isa.instructions import DecodedInstr, decode
+from ..isa.instructions import DecodedInstr, IllegalInstructionError, decode
 from .dcu import DCU
-from .memory import Memory
+from .memory import Memory, MemoryError32
 from .npu import NMConfig, NPU
 
 __all__ = [
@@ -76,7 +76,17 @@ class ExecRecord:
 
 
 class FunctionalSimulator:
-    """Executes instructions one at a time with full architectural state."""
+    """Executes instructions one at a time with full architectural state.
+
+    Parameters
+    ----------
+    fast_dispatch:
+        ``True`` (default) executes through predecoded per-PC handlers
+        (see :mod:`repro.sim.dispatch`); ``False`` retires every
+        instruction through the legacy ``if/elif`` semantics chain.  The
+        two paths are bit-identical — the flag exists for differential
+        testing and baseline benchmarking.
+    """
 
     def __init__(
         self,
@@ -85,6 +95,7 @@ class FunctionalSimulator:
         nm_config: Optional[NMConfig] = None,
         reset_pc: int = 0,
         stack_pointer: Optional[int] = 0x2000_FFF0,
+        fast_dispatch: bool = True,
     ) -> None:
         self.memory = memory if memory is not None else Memory()
         self.nm_config = nm_config if nm_config is not None else NMConfig()
@@ -101,7 +112,11 @@ class FunctionalSimulator:
         self.spike_count: int = 0
         #: Optional callable invoked after each retired instruction.
         self.trace_hook: Optional[Callable[["FunctionalSimulator", ExecRecord], None]] = None
+        self.fast_dispatch = fast_dispatch
         self._decode_cache: Dict[int, DecodedInstr] = {}
+        #: PC -> (record_handler, fast_handler); see repro.sim.dispatch.
+        #: The corresponding DecodedInstr stays in ``_decode_cache``.
+        self._compiled: Dict[int, Tuple[Callable[[int], ExecRecord], Callable[[int], int]]] = {}
         if stack_pointer is not None:
             self.regs[2] = to_unsigned32(stack_pointer)
 
@@ -128,7 +143,17 @@ class FunctionalSimulator:
         self.memory.load_program(program.words, base=program.origin)
         if set_pc:
             self.pc = program.entry_point
+        self.invalidate_dispatch()
+
+    def invalidate_dispatch(self) -> None:
+        """Drop the decode cache and all predecoded handlers.
+
+        Required after self-modifying code or after replacing ``memory``,
+        ``npu`` or ``dcu`` (the compiled handlers capture those objects by
+        reference); :meth:`load_program` calls it automatically.
+        """
         self._decode_cache.clear()
+        self._compiled.clear()
 
     # ------------------------------------------------------------------ #
     # Fetch / decode / execute
@@ -145,13 +170,38 @@ class FunctionalSimulator:
         self._decode_cache[pc] = instr
         return instr
 
+    def peek_decode(self, pc: int) -> Optional[DecodedInstr]:
+        """Best-effort decode for lookahead consumers (the hazard unit).
+
+        Returns ``None`` instead of raising when ``pc`` is misaligned,
+        unmapped, or holds a word that does not decode (data following
+        code, halt boundaries), so speculative peeks can never abort a
+        simulation that would otherwise halt cleanly.
+        """
+        try:
+            return self.fetch_decode(pc)
+        except (SimulationError, IllegalInstructionError, MemoryError32):
+            return None
+
+    def _compile_at(self, pc: int):
+        from .dispatch import compile_entry
+
+        entry = compile_entry(self, self.fetch_decode(pc))
+        self._compiled[pc] = entry
+        return entry
+
     def step(self) -> ExecRecord:
         """Execute a single instruction and return its :class:`ExecRecord`."""
         if self.halted:
             raise SimulationError("cannot step a halted simulator")
         pc = self.pc
-        instr = self.fetch_decode(pc)
-        record = self._execute(pc, instr)
+        if self.fast_dispatch:
+            entry = self._compiled.get(pc)
+            if entry is None:
+                entry = self._compile_at(pc)
+            record = entry[0](pc)
+        else:
+            record = self._execute(pc, self.fetch_decode(pc))
         self.pc = record.next_pc
         self.instret += 1
         if self.trace_hook is not None:
@@ -161,18 +211,40 @@ class FunctionalSimulator:
     def run(self, *, max_instructions: int = 10_000_000) -> int:
         """Run until the program halts; returns the number of instructions.
 
+        With ``fast_dispatch`` enabled and no ``trace_hook`` attached this
+        executes through the record-free handler loop — the predecoded
+        handlers advance the architectural state without allocating an
+        :class:`ExecRecord` per instruction.
+
         Raises
         ------
         SimulationError
             If the instruction budget is exhausted before the program halts.
         """
+        if not self.fast_dispatch or self.trace_hook is not None:
+            executed = 0
+            while not self.halted:
+                if executed >= max_instructions:
+                    raise SimulationError(
+                        f"instruction budget of {max_instructions} exhausted at pc={self.pc:#x}"
+                    )
+                self.step()
+                executed += 1
+            return executed
         executed = 0
+        compiled = self._compiled
+        pc = self.pc
         while not self.halted:
             if executed >= max_instructions:
                 raise SimulationError(
                     f"instruction budget of {max_instructions} exhausted at pc={self.pc:#x}"
                 )
-            self.step()
+            entry = compiled.get(pc)
+            if entry is None:
+                entry = self._compile_at(pc)
+            pc = entry[1](pc)
+            self.pc = pc
+            self.instret += 1
             executed += 1
         return executed
 
@@ -287,8 +359,8 @@ class FunctionalSimulator:
         elif instr.is_load:
             address = (rs1_u + imm) & MASK32
             record.mem_address = address
-            if address == MMIO_CYCLE_LOW:
-                value = self.instret & MASK32
+            if address >= MMIO_BASE:
+                value = self._mmio_load(address, name)
             elif name == "lw":
                 value = self.memory.load_word(address)
             elif name == "lh":
@@ -366,6 +438,30 @@ class FunctionalSimulator:
         else:
             # Unknown syscalls are recorded but otherwise ignored.
             self.debug_values.append(-syscall)
+
+    def _mmio_load(self, address: int, name: str) -> int:
+        """Execute a load from the MMIO region with proper width semantics.
+
+        Only ``MMIO_CYCLE_LOW`` is readable; narrow loads see the same
+        byte lanes a hardware bus would deliver (truncation plus
+        sign-extension for ``lh``/``lb``).  Loads from any other MMIO
+        address raise a :class:`SimulationError` instead of falling
+        through to RAM.
+        """
+        if address == MMIO_CYCLE_LOW:
+            value = self.instret & MASK32
+            if name == "lw":
+                return value
+            if name == "lhu":
+                return value & 0xFFFF
+            if name == "lh":
+                half = value & 0xFFFF
+                return half | 0xFFFF0000 if half & 0x8000 else half
+            if name == "lbu":
+                return value & 0xFF
+            byte = value & 0xFF  # lb
+            return byte | 0xFFFFFF00 if byte & 0x80 else byte
+        raise SimulationError(f"load from unknown MMIO address {address:#x}")
 
     def _mmio_store(self, address: int, value: int) -> None:
         if address == MMIO_HALT:

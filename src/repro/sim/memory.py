@@ -170,30 +170,33 @@ class Memory:
         self.store_byte(address + 1, value >> 8)
 
     def load_word(self, address: int) -> int:
-        if address % 4 != 0:
+        # Word accesses are the ISS hot path: the page lookup and the
+        # bounds check are inlined (an aligned word never straddles a
+        # 4 KiB page, so no byte-wise fallback is needed).
+        if address & 3:
             raise MemoryError32(f"misaligned word load at {address:#x}")
-        self._check(address, 4)
-        page, offset = self._page(address)
-        if offset <= _PAGE_SIZE - 4:
-            return int.from_bytes(page[offset : offset + 4], "little")
-        return (
-            self.load_byte(address)
-            | self.load_byte(address + 1) << 8
-            | self.load_byte(address + 2) << 16
-            | self.load_byte(address + 3) << 24
-        )
+        if address < 0 or address + 4 > (1 << 32):
+            raise MemoryError32(f"address {address:#x} outside 32-bit space")
+        if self.strict and self.memory_map is not None and self.memory_map.find(address) is None:
+            raise MemoryError32(f"access to unmapped address {address:#x}")
+        page = self._pages.get(address >> _PAGE_BITS)
+        if page is None:
+            page, _ = self._page(address)
+        offset = address & _PAGE_MASK
+        return int.from_bytes(page[offset : offset + 4], "little")
 
     def store_word(self, address: int, value: int) -> None:
-        if address % 4 != 0:
+        if address & 3:
             raise MemoryError32(f"misaligned word store at {address:#x}")
-        self._check(address, 4)
-        value &= _MASK32
-        page, offset = self._page(address)
-        if offset <= _PAGE_SIZE - 4:
-            page[offset : offset + 4] = value.to_bytes(4, "little")
-            return
-        for i in range(4):
-            self.store_byte(address + i, (value >> (8 * i)) & 0xFF)
+        if address < 0 or address + 4 > (1 << 32):
+            raise MemoryError32(f"address {address:#x} outside 32-bit space")
+        if self.strict and self.memory_map is not None and self.memory_map.find(address) is None:
+            raise MemoryError32(f"access to unmapped address {address:#x}")
+        page = self._pages.get(address >> _PAGE_BITS)
+        if page is None:
+            page, _ = self._page(address)
+        offset = address & _PAGE_MASK
+        page[offset : offset + 4] = (value & _MASK32).to_bytes(4, "little")
 
     # ------------------------------------------------------------------ #
     # Bulk helpers

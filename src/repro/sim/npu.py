@@ -42,7 +42,13 @@ from ..isa.nm_ext import (
     unpack_nmldl_operands,
 )
 
-__all__ = ["NMConfig", "NPU", "SPIKE_THRESHOLD_MV", "izhikevich_update_raw"]
+__all__ = [
+    "NMConfig",
+    "NPU",
+    "SPIKE_THRESHOLD_MV",
+    "izhikevich_update_raw",
+    "izhikevich_update_scalar",
+]
 
 ArrayLike = Union[int, np.ndarray]
 
@@ -88,11 +94,21 @@ class NMConfig:
     # Loading (instruction semantics)
     # ------------------------------------------------------------------ #
     def load_params_words(self, rs1: int, rs2: int) -> None:
-        """Execute ``nmldl``: unpack a/b (rs1) and d/c (rs2) register words."""
-        self.a_raw = Q4_11.from_unsigned(rs1 & 0xFFFF)
-        self.b_raw = Q4_11.from_unsigned((rs1 >> 16) & 0xFFFF)
-        self.c_raw = Q7_8.from_unsigned(rs2 & 0xFFFF)
-        self.d_raw = Q4_11.from_unsigned((rs2 >> 16) & 0xFFFF)
+        """Execute ``nmldl``: unpack a/b (rs1) and d/c (rs2) register words.
+
+        The ISS executes one ``nmldl`` per neuron per timestep, so the
+        16-bit two's-complement reinterpretation is done with plain
+        integer arithmetic instead of the (scalar-NumPy) ``from_unsigned``
+        helpers; all four formats here are 16 bits wide.
+        """
+        a = rs1 & 0xFFFF
+        b = (rs1 >> 16) & 0xFFFF
+        c = rs2 & 0xFFFF
+        d = (rs2 >> 16) & 0xFFFF
+        self.a_raw = a - 0x10000 if a & 0x8000 else a
+        self.b_raw = b - 0x10000 if b & 0x8000 else b
+        self.c_raw = c - 0x10000 if c & 0x8000 else c
+        self.d_raw = d - 0x10000 if d & 0x8000 else d
         self.params_loaded = True
 
     def load_params(self, params: IzhikevichParams) -> None:
@@ -164,11 +180,13 @@ def izhikevich_update_raw(
 ) -> Tuple[ArrayLike, ArrayLike, ArrayLike]:
     """The NPU datapath with explicit (possibly per-neuron) parameters.
 
-    This is the single shared implementation of the fixed-point Izhikevich
-    Euler step: the scalar :class:`NPU` (one neuron at a time, parameters
-    from the NM configuration registers) and the vectorised fixed-point
-    network engine (per-neuron parameter arrays) both call it, so the two
-    paths are bit-identical by construction.
+    This is the reference implementation of the fixed-point Izhikevich
+    Euler step, used by :meth:`NPU.update_raw` and the vectorised
+    fixed-point network engine (per-neuron parameter arrays).  The
+    instruction-level ``nmpn`` path goes through
+    :func:`izhikevich_update_scalar`, a pure-integer twin of this
+    function; randomized cross-checks in ``tests/sim/test_dispatch.py``
+    pin the two bit-identical.
 
     All inputs are raw integer payloads (v/u/c in Q7.8, a/b/d in Q4.11,
     Isyn in Q15.16); scalars and NumPy arrays may be mixed freely.
@@ -218,6 +236,69 @@ def izhikevich_update_raw(
 
     if scalar:
         return int(v_new), int(u_new), int(spike)
+    return v_new, u_new, spike
+
+
+# Q7.8 saturation bounds used by the scalar datapath below.
+_Q78_MIN = -(1 << 15)
+_Q78_MAX = (1 << 15) - 1
+
+
+def izhikevich_update_scalar(
+    v_raw: int,
+    u_raw: int,
+    isyn_raw: int,
+    *,
+    a_raw: int,
+    b_raw: int,
+    c_raw: int,
+    d_raw: int,
+    h_shift: int,
+    pin_voltage: bool = False,
+) -> Tuple[int, int, int]:
+    """Pure-integer twin of :func:`izhikevich_update_raw` for one neuron.
+
+    The instruction-set simulator retires one ``nmpn`` at a time; going
+    through NumPy for scalars costs an order of magnitude more than the
+    arithmetic itself.  Every intermediate here fits comfortably in 64
+    bits (``|v| < 2^15`` so ``0.04·v²`` stays below 2^38), so Python
+    integer arithmetic — including arithmetic right shifts on negatives —
+    is bit-identical to the int64 array path.  The equivalence is pinned
+    by randomized cross-checks in ``tests/sim/test_dispatch.py``.
+    """
+    v_acc = v_raw << 8
+    u_acc = u_raw << 8
+    dv_acc = (
+        ((_COEFF_004_Q4_11 * (v_raw * v_raw)) >> 11)
+        + 5 * v_acc
+        + _CONST_140_ACC
+        - u_acc
+        + isyn_raw
+    ) >> h_shift
+    bv_acc = (b_raw * v_raw) >> 3  # 11 + 8 - 16 fractional bits
+    du_acc = ((a_raw * (bv_acc - u_acc)) >> 11) >> h_shift
+    v_new = (v_acc + dv_acc) >> 8
+    if v_new < _Q78_MIN:
+        v_new = _Q78_MIN
+    elif v_new > _Q78_MAX:
+        v_new = _Q78_MAX
+    u_new = (u_acc + du_acc) >> 8
+    if u_new < _Q78_MIN:
+        u_new = _Q78_MIN
+    elif u_new > _Q78_MAX:
+        u_new = _Q78_MAX
+    if v_new >= _VTH_RAW:
+        spike = 1
+        u_new += d_raw >> 3  # Q4.11 -> Q7.8
+        if u_new < _Q78_MIN:
+            u_new = _Q78_MIN
+        elif u_new > _Q78_MAX:
+            u_new = _Q78_MAX
+        v_new = c_raw
+    else:
+        spike = 0
+    if pin_voltage and v_new < c_raw:
+        v_new = c_raw
     return v_new, u_new, spike
 
 
@@ -289,10 +370,41 @@ class NPU:
             The updated VU word (to be stored at the address held in
             ``rd``) and the spike flag written back to ``rd``.
         """
-        v_raw, u_raw = unpack_vu(vu_word)
-        isyn_raw = Q15_16.from_unsigned(isyn_word & 0xFFFFFFFF)
-        v_new, u_new, spike = self.update_raw(v_raw, u_raw, isyn_raw)
-        return pack_vu(v_new, u_new), int(spike)
+        # A subclass or instance patch overriding the raw-arithmetic hook
+        # must keep seeing nmpn traffic: dispatch through it instead of
+        # the fast path.
+        if type(self).update_raw is not NPU.update_raw or "update_raw" in self.__dict__:
+            v_raw, u_raw = unpack_vu(vu_word)
+            v_new, u_new, spike = self.update_raw(
+                v_raw, u_raw, Q15_16.from_unsigned(isyn_word & 0xFFFFFFFF)
+            )
+            return pack_vu(v_new, u_new), int(spike)
+        # Scalar fast path (pure integers): bit-identical to the NumPy
+        # array path — see izhikevich_update_scalar.  The unpack/pack of
+        # the VU word and the Q15.16 reinterpretation are inlined.
+        cfg = self.config
+        word = vu_word & 0xFFFFFFFF
+        v_raw = (word >> 16) & 0xFFFF
+        if v_raw & 0x8000:
+            v_raw -= 0x10000
+        u_raw = word & 0xFFFF
+        if u_raw & 0x8000:
+            u_raw -= 0x10000
+        isyn_raw = isyn_word & 0xFFFFFFFF
+        if isyn_raw & 0x8000_0000:
+            isyn_raw -= 0x1_0000_0000
+        v_new, u_new, spike = izhikevich_update_scalar(
+            v_raw,
+            u_raw,
+            isyn_raw,
+            a_raw=cfg.a_raw,
+            b_raw=cfg.b_raw,
+            c_raw=cfg.c_raw,
+            d_raw=cfg.d_raw,
+            h_shift=cfg.h_shift,
+            pin_voltage=cfg.pin_voltage,
+        )
+        return ((v_new & 0xFFFF) << 16) | (u_new & 0xFFFF), spike
 
     # ------------------------------------------------------------------ #
     # Float convenience interface (examples, documentation, tests)

@@ -156,9 +156,11 @@ class CycleAccurateCore:
         dest = producer.dest_register
         if dest is None:
             return False
-        try:
-            consumer = self.fsim.fetch_decode(next_pc)
-        except Exception:
+        # The peek is speculative: next_pc may hold data (code followed by
+        # a data image), sit past a halting instruction, or be unmapped.
+        # peek_decode tolerates all of those instead of raising.
+        consumer = self.fsim.peek_decode(next_pc)
+        if consumer is None:
             return False
         if dest not in consumer.source_registers:
             return False

@@ -86,3 +86,69 @@ class TestExecutionModes:
         results = SweepExecutor().map_seeds(_echo_task, [100, 200], extra={"tag": "s"})
         assert [r["seed"] for r in results] == [100, 200]
         assert all(r["params"]["tag"] == "s" for r in results)
+
+
+class TestPicklingFallback:
+    """Process mode degrades to a warned serial run for unpicklable tasks."""
+
+    def test_lambda_falls_back_to_serial(self):
+        executor = SweepExecutor(mode="process", max_workers=2)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            results = executor.run(
+                lambda task: {"index": task.index, "seed": task.seed},
+                [{"x": 1}, {"x": 2}, {"x": 3}],
+                base_seed=5,
+            )
+        assert [r["index"] for r in results] == [0, 1, 2]
+        assert results[0]["seed"] == derive_task_seed(5, 0)
+
+    def test_fallback_matches_serial_mode(self):
+        fn = lambda task: task.seed * 2  # noqa: E731 - intentionally unpicklable
+        params = [{"i": i} for i in range(4)]
+        with pytest.warns(RuntimeWarning):
+            pooled = SweepExecutor(mode="process", max_workers=2).run(fn, params, base_seed=1)
+        serial = SweepExecutor().run(fn, params, base_seed=1)
+        assert pooled == serial
+
+    def test_closure_falls_back_too(self):
+        scale = 3
+
+        def closure_task(task):
+            return task.index * scale
+
+        with pytest.warns(RuntimeWarning):
+            results = SweepExecutor(mode="process", max_workers=2).run(
+                closure_task, [{}, {}, {}]
+            )
+        assert results == [0, 3, 6]
+
+    def test_warns_only_once_per_executor(self):
+        import warnings as warnings_mod
+
+        executor = SweepExecutor(mode="process", max_workers=2)
+        fn = lambda task: task.index  # noqa: E731
+        with pytest.warns(RuntimeWarning):
+            executor.run(fn, [{}, {}])
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert executor.run(fn, [{}, {}]) == [0, 1]  # silent second time
+
+    def test_picklable_functions_still_use_the_pool(self):
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            results = SweepExecutor(mode="process", max_workers=2).run(
+                _echo_task, [{"a": 1}, {"a": 2}], base_seed=3
+            )
+        assert len(results) == 2
+
+    def test_unpicklable_param_in_later_task_falls_back(self):
+        # Task 0 pickles fine; task 1 carries an unpicklable lock.  The
+        # pre-flight must cover every task, not just the first.
+        import threading
+
+        params = [{"x": 1}, {"x": threading.Lock()}]
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            results = SweepExecutor(mode="process", max_workers=2).run(_echo_task, params)
+        assert [r["index"] for r in results] == [0, 1]

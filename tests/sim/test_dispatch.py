@@ -1,0 +1,396 @@
+"""Differential tests: predecoded dispatch fast path vs. legacy chain.
+
+The fast path (``repro.sim.dispatch``) must be bit-identical to the
+legacy ``FunctionalSimulator._execute`` chain: same register/memory
+trajectories, same ``ExecRecord`` streams, same spikes, same exceptions.
+These tests drive randomized and directed programs through both paths in
+lockstep, and cross-check the scalar NPU/DCU integer datapaths against
+their NumPy array twins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.isa import assemble
+from repro.sim import DEFAULT_MEMORY_MAP, FunctionalSimulator, Memory, SimulationError
+
+DATA_BASE = 0x1000_0000
+
+
+def make_pair(source, *, origin=0):
+    """Two freshly loaded simulators: (fast dispatch, legacy chain)."""
+    sims = []
+    for fast in (True, False):
+        mem = Memory(DEFAULT_MEMORY_MAP())
+        fsim = FunctionalSimulator(mem, fast_dispatch=fast)
+        fsim.load_program(assemble(source, origin=origin))
+        sims.append(fsim)
+    return sims
+
+
+def assert_records_equal(fast_rec, legacy_rec):
+    assert fast_rec.pc == legacy_rec.pc
+    assert fast_rec.instr.name == legacy_rec.instr.name
+    assert fast_rec.instr.word == legacy_rec.instr.word
+    assert fast_rec.next_pc == legacy_rec.next_pc
+    assert fast_rec.mem_address == legacy_rec.mem_address
+    assert fast_rec.mem_is_write == legacy_rec.mem_is_write
+    assert fast_rec.control_transfer == legacy_rec.control_transfer
+    assert fast_rec.spike == legacy_rec.spike
+
+
+def run_lockstep(source, *, max_instructions=200_000):
+    """Step both paths together, comparing records and state each step."""
+    fast, legacy = make_pair(source)
+    executed = 0
+    while not legacy.halted:
+        assert not fast.halted
+        assert executed < max_instructions, "lockstep budget exhausted"
+        assert_records_equal(fast.step(), legacy.step())
+        assert fast.regs == legacy.regs
+        assert fast.pc == legacy.pc
+        executed += 1
+    assert fast.halted
+    assert fast.exit_code == legacy.exit_code
+    assert fast.instret == legacy.instret
+    assert fast.spike_count == legacy.spike_count
+    assert fast.csrs == legacy.csrs
+    assert fast.stdout == legacy.stdout
+    assert fast.debug_values == legacy.debug_values
+    return fast, legacy
+
+
+# ---------------------------------------------------------------------- #
+# Randomized instruction streams
+# ---------------------------------------------------------------------- #
+_ALU_RR = ["add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+           "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu"]
+_ALU_RI = ["addi", "slti", "sltiu", "xori", "ori", "andi"]
+_SHIFT_RI = ["slli", "srli", "srai"]
+_BRANCHES = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
+_LOADS = {"lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}
+_STORES = {"sw": 4, "sh": 2, "sb": 1}
+
+
+def random_program(rng, length=300):
+    """A random, always-terminating torture program over x5..x15.
+
+    Branches only jump forward by a few slots and the program tail is
+    padded with ``ebreak``s, so every path halts.  Memory accesses stay
+    inside a private scratch window with width-aligned offsets.
+    """
+    lines = [
+        f"    li x28, {DATA_BASE}",
+    ]
+    # Seed the working registers with random 32-bit values.
+    for reg in range(5, 16):
+        lines.append(f"    li x{reg}, {int(rng.integers(0, 1 << 32)) - (1 << 31)}")
+    body = []
+    for i in range(length):
+        body.append(f"L{i}:")
+        kind = rng.choice(["rr", "ri", "shift", "branch", "load", "store", "lui", "auipc"],
+                          p=[0.3, 0.2, 0.1, 0.1, 0.12, 0.12, 0.03, 0.03])
+        rd = int(rng.integers(5, 16))
+        rs1 = int(rng.integers(5, 16))
+        rs2 = int(rng.integers(5, 16))
+        if kind == "rr":
+            op = rng.choice(_ALU_RR)
+            body.append(f"    {op} x{rd}, x{rs1}, x{rs2}")
+        elif kind == "ri":
+            op = rng.choice(_ALU_RI)
+            imm = int(rng.integers(-2048, 2048))
+            body.append(f"    {op} x{rd}, x{rs1}, {imm}")
+        elif kind == "shift":
+            op = rng.choice(_SHIFT_RI)
+            body.append(f"    {op} x{rd}, x{rs1}, {int(rng.integers(0, 32))}")
+        elif kind == "branch":
+            op = rng.choice(_BRANCHES)
+            target = min(i + int(rng.integers(1, 5)), length)
+            body.append(f"    {op} x{rs1}, x{rs2}, L{target}")
+        elif kind == "load":
+            op = rng.choice(list(_LOADS))
+            width = _LOADS[op]
+            offset = int(rng.integers(0, 256 // width)) * width
+            body.append(f"    {op} x{rd}, {offset}(x28)")
+        elif kind == "store":
+            op = rng.choice(list(_STORES))
+            width = _STORES[op]
+            offset = int(rng.integers(0, 256 // width)) * width
+            body.append(f"    {op} x{rs2}, {offset}(x28)")
+        elif kind == "lui":
+            body.append(f"    lui x{rd}, {int(rng.integers(0, 1 << 20))}")
+        else:  # auipc
+            body.append(f"    auipc x{rd}, {int(rng.integers(0, 1 << 20))}")
+    body.append(f"L{length}:")
+    body.append("    ebreak")
+    body.append("    ebreak")
+    return "\n".join(lines + body)
+
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_torture_streams_match(self, seed):
+        source = random_program(np.random.default_rng(seed))
+        fast, legacy = run_lockstep(source)
+        # The scratch window must end up byte-identical.
+        assert fast.memory.read_bytes(DATA_BASE, 256) == legacy.memory.read_bytes(DATA_BASE, 256)
+
+    def test_eighty_twenty_workload_matches(self):
+        from repro.codegen import build_eighty_twenty_workload
+
+        workload = build_eighty_twenty_workload(num_neurons=16, num_steps=4)
+        fast = workload.make_simulator()
+        legacy = workload.make_simulator(fast_dispatch=False)
+        fast.run()
+        legacy.run()
+        assert fast.instret == legacy.instret
+        assert fast.spike_count == legacy.spike_count
+        assert workload.total_spikes(fast) == workload.total_spikes(legacy)
+        assert workload.vu_checksum(fast) == workload.vu_checksum(legacy)
+        assert fast.regs == legacy.regs
+
+    def test_baseline_kernel_matches(self):
+        from repro.codegen import build_eighty_twenty_workload
+
+        workload = build_eighty_twenty_workload(num_neurons=8, num_steps=3, kind="baseline")
+        fast = workload.make_simulator()
+        legacy = workload.make_simulator(fast_dispatch=False)
+        fast.run()
+        legacy.run()
+        assert workload.total_spikes(fast) == workload.total_spikes(legacy)
+        assert workload.vu_checksum(fast) == workload.vu_checksum(legacy)
+
+
+# ---------------------------------------------------------------------- #
+# Directed coverage of record fields and environment semantics
+# ---------------------------------------------------------------------- #
+class TestDirectedDifferential:
+    def test_control_transfer_records(self):
+        # Includes a taken branch whose offset is +4: next_pc equals the
+        # fall-through address but control_transfer must still be True.
+        run_lockstep("""
+            li a0, 1
+            li a1, 1
+            beq a0, a1, next
+        next:
+            bne a0, a1, skip
+            jal ra, sub
+            j end
+        sub:
+            jr ra
+        skip:
+            addi a2, a2, 1
+        end:
+            ebreak
+        """)
+
+    def test_csr_and_ecall_records(self):
+        run_lockstep("""
+            li t0, 0x55
+            csrrw t1, 0x340, t0
+            csrrs t2, 0x340, t0
+            csrrc t3, 0x340, t0
+            csrrw x0, 0x341, t3
+            li a7, 1234
+            ecall
+            li a0, 7
+            li a7, 93
+            ecall
+        """)
+
+    def test_write_syscall_and_mmio_stores(self):
+        from repro.sim import MMIO_PRINT_INT, MMIO_PUTCHAR
+
+        run_lockstep(f"""
+            li t0, {DATA_BASE}
+            li t1, 'O'
+            sb t1, 0(t0)
+            li t1, 'K'
+            sb t1, 1(t0)
+            li a0, 1
+            li a1, {DATA_BASE}
+            li a2, 2
+            li a7, 64
+            ecall
+            li t2, {MMIO_PUTCHAR}
+            li t3, '!'
+            sw t3, 0(t2)
+            li t2, {MMIO_PRINT_INT}
+            li t3, -99
+            sw t3, 0(t2)
+            ebreak
+        """)
+
+    def test_nmpn_record_stream(self):
+        from repro.fixedpoint import pack_vu_float, Q15_16
+        from repro.isa import IzhikevichParams, pack_nmldl_operands
+
+        rs1, rs2 = pack_nmldl_operands(IzhikevichParams.regular_spiking())
+        vu = pack_vu_float(-60.0, -12.0)
+        isyn = Q15_16.to_unsigned(Q15_16.from_float(9.0))
+        run_lockstep(f"""
+            li a6, {rs1}
+            li a7, {rs2}
+            nmldl x0, a6, a7
+            li t0, 0
+            nmldh x0, t0, x0
+            li a0, {vu}
+            li a1, {isyn}
+            li a2, {DATA_BASE + 0x100}
+            nmpn a2, a0, a1
+            li t1, 4
+            nmdec a3, t1, a1
+            ebreak
+        """)
+
+    def test_both_paths_raise_identically_on_illegal_pc(self):
+        # Jump into a zero word: both paths must fail the same way.
+        fast, legacy = make_pair("li t0, 64\njr t0\n")
+        exc_fast = _exception_of(fast)
+        exc_legacy = _exception_of(legacy)
+        assert type(exc_fast) is type(exc_legacy)
+        assert str(exc_fast) == str(exc_legacy)
+
+    def test_run_matches_step_loop_on_fast_path(self):
+        source = """
+            li t0, 25
+            li t1, 0
+        loop:
+            add t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+        """
+        run_sim, step_sim = make_pair(source)  # both fast; second stepped
+        step_sim.fast_dispatch = True
+        run_sim.run()
+        while not step_sim.halted:
+            step_sim.step()
+        assert run_sim.regs == step_sim.regs
+        assert run_sim.instret == step_sim.instret
+        assert run_sim.pc == step_sim.pc
+
+    def test_trace_hook_sees_records_on_fast_path(self):
+        source = "li t0, 3\nli t1, 4\nadd t2, t0, t1\nebreak"
+        fast, legacy = make_pair(source)
+        fast_records, legacy_records = [], []
+        fast.trace_hook = lambda sim, rec: fast_records.append(rec)
+        legacy.trace_hook = lambda sim, rec: legacy_records.append(rec)
+        fast.run()
+        legacy.run()
+        assert len(fast_records) == len(legacy_records) == fast.instret
+        for fast_rec, legacy_rec in zip(fast_records, legacy_records):
+            assert_records_equal(fast_rec, legacy_rec)
+
+
+def _exception_of(sim):
+    try:
+        sim.run(max_instructions=100)
+    except Exception as exc:  # noqa: BLE001 - differential comparison
+        return exc
+    raise AssertionError("expected the program to fault")
+
+
+# ---------------------------------------------------------------------- #
+# Scalar NPU/DCU datapaths vs. their NumPy array twins
+# ---------------------------------------------------------------------- #
+class TestScalarDatapathEquivalence:
+    @pytest.mark.parametrize("pin_voltage", [False, True])
+    @pytest.mark.parametrize("fine_timestep", [False, True])
+    def test_nmpn_scalar_matches_array_path(self, pin_voltage, fine_timestep):
+        from repro.isa import IzhikevichParams, pack_nmldl_operands, pack_nmldh_operand
+        from repro.sim import NMConfig, NPU
+        from repro.sim.npu import izhikevich_update_raw
+
+        rng = np.random.default_rng(42 + pin_voltage + 2 * fine_timestep)
+        rs1, rs2 = pack_nmldl_operands(IzhikevichParams.regular_spiking())
+        cfg = NMConfig.from_words(
+            rs1, rs2, pack_nmldh_operand(fine_timestep=fine_timestep, pin_voltage=pin_voltage)
+        )
+        npu = NPU(cfg)
+        for _ in range(500):
+            vu_word = int(rng.integers(0, 1 << 32))
+            isyn_word = int(rng.integers(0, 1 << 32))
+            new_vu, spike = npu.execute_nmpn(vu_word, isyn_word)
+            # Reference: the vectorised int64 path, one-element arrays.
+            from repro.fixedpoint import Q15_16
+            from repro.fixedpoint.vuword import pack_vu, unpack_vu
+
+            v_raw, u_raw = unpack_vu(vu_word)
+            v_ref, u_ref, spike_ref = izhikevich_update_raw(
+                np.array([v_raw]), np.array([u_raw]),
+                np.array([Q15_16.from_unsigned(isyn_word)]),
+                a_raw=cfg.a_raw, b_raw=cfg.b_raw, c_raw=cfg.c_raw, d_raw=cfg.d_raw,
+                h_shift=cfg.h_shift, pin_voltage=cfg.pin_voltage,
+            )
+            assert new_vu == int(pack_vu(int(v_ref[0]), int(u_ref[0])))
+            assert spike == int(spike_ref[0])
+
+    def test_nmdec_scalar_matches_array_path(self):
+        from repro.fixedpoint import Q15_16
+        from repro.sim import DCU, NMConfig
+
+        rng = np.random.default_rng(7)
+        for fine in (False, True):
+            cfg = NMConfig()
+            cfg.load_timestep(fine_timestep=fine)
+            dcu = DCU(cfg)
+            for _ in range(300):
+                tau = int(rng.integers(1, 10))
+                isyn_word = int(rng.integers(0, 1 << 32))
+                scalar = dcu.execute_nmdec(tau, isyn_word)
+                reference = Q15_16.to_unsigned(
+                    int(dcu.decay_raw(np.array([Q15_16.from_unsigned(isyn_word)]), tau)[0])
+                )
+                assert scalar == reference
+
+    def test_nmdec_rejects_bad_tau(self):
+        from repro.sim import DCU
+
+        with pytest.raises(ValueError, match="tau select"):
+            DCU().execute_nmdec(0, 100)
+        with pytest.raises(ValueError, match="tau select"):
+            DCU().execute_nmdec(10, 100)
+
+    def test_nmldl_word_unpacking_matches_qformats(self):
+        from repro.fixedpoint import Q4_11, Q7_8
+        from repro.sim import NMConfig
+
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            rs1 = int(rng.integers(0, 1 << 32))
+            rs2 = int(rng.integers(0, 1 << 32))
+            cfg = NMConfig()
+            cfg.load_params_words(rs1, rs2)
+            assert cfg.a_raw == Q4_11.from_unsigned(rs1 & 0xFFFF)
+            assert cfg.b_raw == Q4_11.from_unsigned((rs1 >> 16) & 0xFFFF)
+            assert cfg.c_raw == Q7_8.from_unsigned(rs2 & 0xFFFF)
+            assert cfg.d_raw == Q4_11.from_unsigned((rs2 >> 16) & 0xFFFF)
+
+
+# ---------------------------------------------------------------------- #
+# Dispatch cache lifecycle
+# ---------------------------------------------------------------------- #
+class TestDispatchCache:
+    def test_reload_invalidates_handlers(self):
+        mem = Memory(DEFAULT_MEMORY_MAP())
+        fsim = FunctionalSimulator(mem)
+        fsim.load_program(assemble("li a0, 1\nebreak"))
+        fsim.run()
+        assert fsim.read_reg(10) == 1
+        # Reload a different program at the same PCs: handlers must refresh.
+        fsim.load_program(assemble("li a0, 2\nebreak"))
+        fsim.halted = False
+        fsim.pc = 0
+        fsim.run()
+        assert fsim.read_reg(10) == 2
+
+    def test_peek_decode_tolerates_garbage(self):
+        mem = Memory(DEFAULT_MEMORY_MAP())
+        fsim = FunctionalSimulator(mem)
+        fsim.load_program(assemble("ebreak"))
+        assert fsim.peek_decode(0) is not None
+        assert fsim.peek_decode(2) is None          # misaligned
+        assert fsim.peek_decode(0x100) is None      # zero word: undecodable
+        mem.store_word(0x200, 0xFFFFFFFF)
+        assert fsim.peek_decode(0x200) is None      # illegal encoding

@@ -6,12 +6,17 @@ from repro.isa import assemble
 from repro.sim import DEFAULT_MEMORY_MAP, FunctionalSimulator, Memory, MMIO_HALT, SimulationError
 
 
-def run_program(source, *, max_instructions=100_000, origin=0):
+def run_program(source, *, max_instructions=100_000, origin=0, fast_dispatch=True):
     mem = Memory(DEFAULT_MEMORY_MAP())
-    fsim = FunctionalSimulator(mem)
+    fsim = FunctionalSimulator(mem, fast_dispatch=fast_dispatch)
     fsim.load_program(assemble(source, origin=origin))
     fsim.run(max_instructions=max_instructions)
     return fsim
+
+
+#: Both execution paths; the new edge-case suites run on each so the
+#: fast dispatch handlers and the legacy chain stay pinned together.
+BOTH_PATHS = pytest.mark.parametrize("fast", [True, False], ids=["fast", "legacy"])
 
 
 class TestArithmetic:
@@ -121,6 +126,180 @@ class TestMultiplyDivide:
         """)
         assert fsim.read_reg(12) == 0xFFFFFFFF
         assert fsim.read_reg(13) == 17
+
+
+class TestRV32MEdgeCases:
+    """RISC-V M-extension corner semantics (unpriv spec §7.1/§7.2)."""
+
+    @BOTH_PATHS
+    def test_div_rem_by_zero(self, fast):
+        fsim = run_program("""
+            li a0, 17
+            li a1, 0
+            div a2, a0, a1
+            rem a3, a0, a1
+            divu a4, a0, a1
+            remu a5, a0, a1
+            ebreak
+        """, fast_dispatch=fast)
+        assert fsim.read_reg(12) == 0xFFFFFFFF   # div/0 -> -1
+        assert fsim.read_reg(13) == 17           # rem/0 -> dividend
+        assert fsim.read_reg(14) == 0xFFFFFFFF   # divu/0 -> all ones
+        assert fsim.read_reg(15) == 17           # remu/0 -> dividend
+
+    @BOTH_PATHS
+    def test_div_rem_by_zero_negative_dividend(self, fast):
+        fsim = run_program("""
+            li a0, -17
+            li a1, 0
+            div a2, a0, a1
+            rem a3, a0, a1
+            ebreak
+        """, fast_dispatch=fast)
+        assert fsim.read_reg(12) == 0xFFFFFFFF
+        assert fsim.read_reg_signed(13) == -17
+
+    @BOTH_PATHS
+    def test_signed_overflow_int_min_div_minus_one(self, fast):
+        fsim = run_program("""
+            li a0, -2147483648
+            li a1, -1
+            div a2, a0, a1
+            rem a3, a0, a1
+            divu a4, a0, a1
+            remu a5, a0, a1
+            ebreak
+        """, fast_dispatch=fast)
+        assert fsim.read_reg(12) == 0x80000000   # overflow: quotient = INT_MIN
+        assert fsim.read_reg(13) == 0            # overflow: remainder = 0
+        # Unsigned view: 0x80000000 / 0xFFFFFFFF = 0 rem 0x80000000.
+        assert fsim.read_reg(14) == 0
+        assert fsim.read_reg(15) == 0x80000000
+
+    @BOTH_PATHS
+    @pytest.mark.parametrize(
+        "a,b",
+        [(0x7FFFFFFF, 0x7FFFFFFF), (0x7FFFFFFF, -0x80000000),
+         (-0x80000000, 0x7FFFFFFF), (-0x80000000, -0x80000000),
+         (-1, -1), (-1, 1), (3, -7)],
+        ids=["pp", "pn", "np", "nn", "mm", "m1", "mixed"],
+    )
+    def test_mulh_sign_combinations(self, fast, a, b):
+        fsim = run_program(f"""
+            li a0, {a}
+            li a1, {b}
+            mulh a2, a0, a1
+            mulhsu a3, a0, a1
+            mulhu a4, a0, a1
+            mul a5, a0, a1
+        """ + "\nebreak", fast_dispatch=fast)
+        au = a & 0xFFFFFFFF
+        bu = b & 0xFFFFFFFF
+        a_s = au - (1 << 32) if au & 0x80000000 else au
+        b_s = bu - (1 << 32) if bu & 0x80000000 else bu
+        assert fsim.read_reg(12) == ((a_s * b_s) >> 32) & 0xFFFFFFFF
+        assert fsim.read_reg(13) == ((a_s * bu) >> 32) & 0xFFFFFFFF
+        assert fsim.read_reg(14) == ((au * bu) >> 32) & 0xFFFFFFFF
+        assert fsim.read_reg(15) == (a_s * b_s) & 0xFFFFFFFF
+
+    @BOTH_PATHS
+    def test_division_rounds_toward_zero(self, fast):
+        fsim = run_program("""
+            li a0, -7
+            li a1, 2
+            div a2, a0, a1
+            rem a3, a0, a1
+            li a0, 7
+            li a1, -2
+            div a4, a0, a1
+            rem a5, a0, a1
+            ebreak
+        """, fast_dispatch=fast)
+        assert fsim.read_reg_signed(12) == -3   # not -4 (no flooring)
+        assert fsim.read_reg_signed(13) == -1   # sign follows the dividend
+        assert fsim.read_reg_signed(14) == -3
+        assert fsim.read_reg_signed(15) == 1
+
+
+class TestMMIOLoads:
+    """Width semantics of loads from the MMIO cycle counter."""
+
+    COUNT_LOOP = """
+        li t0, {count}
+    busy:
+        addi t0, t0, -1
+        bnez t0, busy
+        li t1, {address}
+        {load} t2, 0(t1)
+        ebreak
+    """
+
+    def _run(self, load, count, fast):
+        from repro.sim import MMIO_CYCLE_LOW
+
+        return run_program(
+            self.COUNT_LOOP.format(count=count, load=load, address=MMIO_CYCLE_LOW),
+            fast_dispatch=fast,
+            max_instructions=2_000_000,
+        )
+
+    @BOTH_PATHS
+    def test_lw_reads_full_instret(self, fast):
+        fsim = self._run("lw", 10, fast)
+        # li(2) + 10 * 2 loop instructions + li + li = instret before the load.
+        assert fsim.read_reg(7) == fsim.instret - 2  # load + ebreak retire after
+
+    @BOTH_PATHS
+    def test_lhu_lbu_truncate(self, fast):
+        # Drive instret above 0xFF so truncation is observable.
+        fsim = self._run("lbu", 200, fast)
+        full = fsim.instret - 2
+        assert fsim.read_reg(7) == full & 0xFF
+        assert fsim.read_reg(7) != full
+        fsim = self._run("lhu", 200, fast)
+        assert fsim.read_reg(7) == (fsim.instret - 2) & 0xFFFF
+
+    @BOTH_PATHS
+    def test_lb_sign_extends(self, fast):
+        # Land instret's low byte in [0x80, 0xFF]: the lb result is negative.
+        for count in (70, 90, 110):
+            fsim = self._run("lb", count, fast)
+            full = fsim.instret - 2
+            low = full & 0xFF
+            if low & 0x80:
+                assert fsim.read_reg_signed(7) == low - 0x100
+                break
+        else:  # pragma: no cover - loop counts above guarantee a hit
+            raise AssertionError("no count produced a high low-byte")
+
+    @BOTH_PATHS
+    def test_lh_sign_extension_path(self, fast):
+        fsim = self._run("lh", 5, fast)
+        # Small instret: high bit clear, value passes through unchanged.
+        assert fsim.read_reg(7) == fsim.instret - 2
+
+    @BOTH_PATHS
+    def test_load_from_other_mmio_address_raises(self, fast):
+        from repro.sim import MMIO_HALT, MMIO_PUTCHAR
+
+        for address in (MMIO_HALT, MMIO_PUTCHAR):
+            with pytest.raises(SimulationError, match="unknown MMIO"):
+                run_program(f"""
+                    li t1, {address}
+                    lw t2, 0(t1)
+                    ebreak
+                """, fast_dispatch=fast)
+
+    @BOTH_PATHS
+    def test_narrow_load_from_unknown_mmio_raises(self, fast):
+        from repro.sim import MMIO_BASE
+
+        with pytest.raises(SimulationError, match="unknown MMIO"):
+            run_program(f"""
+                li t1, {MMIO_BASE + 0x100}
+                lbu t2, 0(t1)
+                ebreak
+            """, fast_dispatch=fast)
 
 
 class TestControlFlow:

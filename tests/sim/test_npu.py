@@ -215,3 +215,42 @@ class TestInvariants:
         first = npu.update_raw(Q7_8.from_float(v), Q7_8.from_float(u), Q15_16.from_float(5.0))
         second = npu.update_raw(Q7_8.from_float(v), Q7_8.from_float(u), Q15_16.from_float(5.0))
         assert first == second
+
+
+class TestUpdateRawOverrideHook:
+    def test_subclass_override_reaches_execute_nmpn(self):
+        """nmpn must dispatch through an overridden update_raw hook."""
+        from repro.fixedpoint import pack_vu_float, unpack_vu, Q15_16
+        from repro.isa import IzhikevichParams, pack_nmldl_operands
+        from repro.sim import NMConfig, NPU
+
+        calls = []
+
+        class TracingNPU(NPU):
+            def update_raw(self, v_raw, u_raw, isyn_raw):
+                calls.append((v_raw, u_raw, isyn_raw))
+                return super().update_raw(v_raw, u_raw, isyn_raw)
+
+        rs1, rs2 = pack_nmldl_operands(IzhikevichParams.regular_spiking())
+        cfg = NMConfig.from_words(rs1, rs2, 0)
+        vu = pack_vu_float(-60.0, -12.0)
+        isyn = Q15_16.to_unsigned(Q15_16.from_float(8.0))
+        traced_word, traced_spike = TracingNPU(cfg).execute_nmpn(vu, isyn)
+        plain_word, plain_spike = NPU(cfg).execute_nmpn(vu, isyn)
+        assert calls == [(*unpack_vu(vu), Q15_16.from_unsigned(isyn))]
+        assert (traced_word, traced_spike) == (plain_word, plain_spike)
+
+    def test_instance_level_patch_reaches_execute_nmpn(self):
+        """An instance-attribute update_raw stub must also be dispatched."""
+        from repro.fixedpoint import pack_vu_float, Q15_16
+        from repro.isa import IzhikevichParams, pack_nmldl_operands
+        from repro.sim import NMConfig, NPU
+
+        rs1, rs2 = pack_nmldl_operands(IzhikevichParams.regular_spiking())
+        npu = NPU(NMConfig.from_words(rs1, rs2, 0))
+        npu.update_raw = lambda v, u, i: (7, -3, 1)
+        word, spike = npu.execute_nmpn(
+            pack_vu_float(-60.0, -12.0), Q15_16.to_unsigned(Q15_16.from_float(8.0))
+        )
+        assert spike == 1
+        assert word == ((7 & 0xFFFF) << 16) | (-3 & 0xFFFF)
