@@ -13,7 +13,6 @@ process-pool mode to run them on separate cores; results are identical
 to the serial default by construction (deterministic per-task seeding).
 """
 
-import pytest
 
 from repro.harness import format_comparison, paper_data, table5_eighty_twenty
 from repro.runtime import SweepExecutor

@@ -1,6 +1,5 @@
 """E-T6 / E-S2 — Table VI: Sudoku WTA solver metrics plus the soft-float speedup."""
 
-import pytest
 
 from repro.harness import format_comparison, format_kv, paper_data, softfloat_speedup, table6_sudoku
 

@@ -12,14 +12,12 @@ Run with:  python examples/cortical_8020.py [--steps 1000] [--neurons 1000]
 
 import argparse
 
-import numpy as np
 
 from repro.snn import (
     EightyTwentyConfig,
     histogram_similarity,
     isi_histogram,
     render_ascii_raster,
-    rhythm_summary,
     run_eighty_twenty,
 )
 

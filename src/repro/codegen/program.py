@@ -21,7 +21,7 @@ ISA extension.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -127,7 +127,6 @@ def build_eighty_twenty_workload(
     num_inh = num_neurons - num_exc
     config = EightyTwentyConfig(num_excitatory=num_exc, num_inhibitory=num_inh, seed=seed)
     net = build_eighty_twenty(config)
-    rng = np.random.default_rng(seed + 1)
     external = np.stack([net.thalamic_input(t) for t in range(num_steps)])
     spec = WorkloadSpec(
         a=net.a,
@@ -142,7 +141,6 @@ def build_eighty_twenty_workload(
         pin_voltage=False,
         name=f"eighty-twenty-{num_neurons}n-{num_steps}t",
     )
-    del rng
     return build_workload(spec, kind=kind)
 
 

@@ -19,7 +19,7 @@ substitution explicitly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = ["SoftFloatCostModel", "FloatOpCounts", "IZHIKEVICH_FLOAT_OPS", "estimate_softfloat_speedup"]

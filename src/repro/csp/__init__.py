@@ -1,0 +1,41 @@
+"""Generic spiking constraint-solver subsystem.
+
+Generalises the paper's 729-neuron Winner-Takes-All Sudoku network into a
+reusable constraint-satisfaction engine (see ``docs/CSP.md``):
+
+:mod:`repro.csp.graph`
+    :class:`ConstraintGraph` — variables × finite domains mapped to
+    neuron arrays, pairwise conflict edges mapped to inhibitory synapses,
+    unary clamps mapped to clue drives.
+:mod:`repro.csp.config`
+    :class:`CSPConfig` — the WTA weight / drive / decode parameter set.
+:mod:`repro.csp.solver`
+    :class:`SpikingCSPSolver` — annealed-noise WTA search with a
+    sliding-window decoder; ``solve`` / ``solve_batch`` /
+    :func:`solve_instances` run on the exact-mode batched runtime with
+    early freezing of solved replicas.
+:mod:`repro.csp.scenarios`
+    Deterministic instance generators: Sudoku, graph k-coloring,
+    N-queens and Latin-square completion.
+
+``repro.sudoku.solver.SNNSudokuSolver`` is a thin adapter over this
+subsystem and stays bit-identical to its pre-refactor behaviour.
+"""
+
+from .config import CSPConfig
+from .graph import ConstraintGraph, CSPStatistics, Variable
+from .solver import CSPSolveResult, SpikingCSPSolver, decode_assignment, solve_instances
+from .scenarios import available_scenarios, make_instance
+
+__all__ = [
+    "CSPConfig",
+    "ConstraintGraph",
+    "CSPStatistics",
+    "Variable",
+    "CSPSolveResult",
+    "SpikingCSPSolver",
+    "decode_assignment",
+    "solve_instances",
+    "available_scenarios",
+    "make_instance",
+]

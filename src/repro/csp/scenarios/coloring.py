@@ -1,0 +1,94 @@
+"""Graph k-coloring instances for the spiking constraint solver.
+
+Two deterministic instance families:
+
+* :func:`random_coloring_instance` — random graphs with a *planted*
+  k-partition: vertices are split into ``k`` balanced groups and edges are
+  drawn only between groups, so every instance is k-colorable by
+  construction (the planted partition is one witness) while the edge
+  density still controls difficulty.
+* :func:`australia_instance` — the classic map-coloring example (the
+  seven Australian territories, 3-colorable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..graph import ConstraintGraph, Variable
+
+__all__ = ["random_coloring_instance", "australia_instance", "coloring_graph"]
+
+#: Adjacencies of the Australian map (Tasmania is isolated).
+AUSTRALIA_EDGES: Tuple[Tuple[str, str], ...] = (
+    ("WA", "NT"),
+    ("WA", "SA"),
+    ("NT", "SA"),
+    ("NT", "Q"),
+    ("SA", "Q"),
+    ("SA", "NSW"),
+    ("SA", "V"),
+    ("Q", "NSW"),
+    ("NSW", "V"),
+)
+
+AUSTRALIA_REGIONS: Tuple[str, ...] = ("WA", "NT", "SA", "Q", "NSW", "V", "T")
+
+
+def coloring_graph(
+    vertices: List[str], edges: List[Tuple[str, str]], num_colors: int, *, name: str = "coloring"
+) -> ConstraintGraph:
+    """Constraint graph: one variable per vertex, ``not_equal`` per edge."""
+    domain = tuple(range(1, num_colors + 1))
+    graph = ConstraintGraph([Variable(v, domain) for v in vertices], name=name)
+    for a, b in edges:
+        graph.add_not_equal(a, b)
+    return graph
+
+
+def random_coloring_instance(
+    num_vertices: int = 12,
+    num_colors: int = 3,
+    *,
+    edge_probability: float = 0.6,
+    seed: int = 0,
+) -> Tuple[ConstraintGraph, Dict[str, int]]:
+    """A planted-partition k-colorable random graph as ``(graph, clamps)``.
+
+    Vertices are assigned round-robin to ``num_colors`` groups after a
+    seeded shuffle; candidate edges between different groups are kept with
+    ``edge_probability``.  The first vertex is clamped to color 1 to break
+    the global color-permutation symmetry, which measurably speeds up the
+    stochastic search without affecting solvability.
+    """
+    if num_colors < 2:
+        raise ValueError("need at least two colors")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_vertices)
+    group = np.empty(num_vertices, dtype=np.int64)
+    group[order] = np.arange(num_vertices) % num_colors
+    vertices = [f"v{i}" for i in range(num_vertices)]
+    edges: List[Tuple[str, str]] = []
+    for i in range(num_vertices):
+        for j in range(i + 1, num_vertices):
+            if group[i] != group[j] and rng.random() < edge_probability:
+                edges.append((vertices[i], vertices[j]))
+    graph = coloring_graph(
+        vertices, edges, num_colors, name=f"coloring-{num_vertices}v{num_colors}c-s{seed}"
+    )
+    clamps = {vertices[0]: int(group[0]) + 1}
+    return graph, clamps
+
+
+def australia_instance(num_colors: int = 3) -> Tuple[ConstraintGraph, Dict[str, int]]:
+    """The Australian map-coloring instance as ``(graph, clamps)``."""
+    graph = coloring_graph(
+        list(AUSTRALIA_REGIONS),
+        list(AUSTRALIA_EDGES),
+        num_colors,
+        name=f"australia-{num_colors}c",
+    )
+    # Clamp one region to break the color-permutation symmetry.
+    return graph, {"SA": 1}

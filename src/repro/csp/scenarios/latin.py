@@ -1,0 +1,70 @@
+"""Latin-square completion instances for the spiking constraint solver.
+
+An ``n x n`` grid must hold every symbol ``1..n`` exactly once per row and
+per column; a *completion* instance clamps a subset of cells from a known
+complete square (so every generated instance is satisfiable by
+construction, with the source square as witness).  Complete squares are
+generated deterministically from the cyclic square by seeded row, column
+and symbol permutations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..graph import ConstraintGraph, Variable
+
+__all__ = ["latin_graph", "random_latin_square", "latin_instance"]
+
+
+def latin_graph(n: int) -> ConstraintGraph:
+    """Constraint graph of an ``n x n`` Latin square (rows/cols all-different)."""
+    if n < 1:
+        raise ValueError("square size must be positive")
+    domain = tuple(range(1, n + 1))
+    variables = [Variable(f"cell({r},{c})", domain) for r in range(n) for c in range(n)]
+    graph = ConstraintGraph(variables, name=f"latin-{n}")
+    for r in range(n):
+        graph.add_all_different([f"cell({r},{c})" for c in range(n)])
+    for c in range(n):
+        graph.add_all_different([f"cell({r},{c})" for r in range(n)])
+    return graph
+
+
+def random_latin_square(n: int, *, seed: int = 0) -> np.ndarray:
+    """A deterministic random ``n x n`` Latin square (values ``1..n``).
+
+    The cyclic square ``L[r, c] = (r + c) mod n`` is scrambled by seeded
+    row, column and symbol permutations — all three operations preserve
+    the Latin property.
+    """
+    rng = np.random.default_rng(seed)
+    base = (np.arange(n)[:, None] + np.arange(n)[None, :]) % n
+    rows = rng.permutation(n)
+    cols = rng.permutation(n)
+    symbols = rng.permutation(n)
+    return np.asarray(symbols[base[rows][:, cols]] + 1, dtype=np.int64)
+
+
+def latin_instance(
+    n: int = 4, *, seed: int = 0, clamp_fraction: float = 0.5
+) -> Tuple[ConstraintGraph, Dict[str, int]]:
+    """A Latin-square completion instance as ``(graph, clamps)``.
+
+    ``clamp_fraction`` of the cells (rounded down, at least one) are
+    revealed from a deterministic random complete square; the solver must
+    fill in the rest.
+    """
+    if not 0.0 <= clamp_fraction <= 1.0:
+        raise ValueError("clamp_fraction must be within [0, 1]")
+    square = random_latin_square(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    positions = [(r, c) for r in range(n) for c in range(n)]
+    rng.shuffle(positions)
+    num_clamps = max(1, int(clamp_fraction * n * n))
+    clamps = {f"cell({r},{c})": int(square[r, c]) for r, c in positions[:num_clamps]}
+    graph = latin_graph(n)
+    graph.name = f"latin-{n}-s{seed}"
+    return graph, clamps

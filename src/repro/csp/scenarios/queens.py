@@ -1,0 +1,44 @@
+"""N-queens instances for the spiking constraint solver.
+
+One variable per board row holding the queen's column (domain ``1..N``);
+conflict edges forbid shared columns and shared diagonals.  Solvable for
+every ``N >= 4`` (and trivially for ``N = 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..graph import ConstraintGraph, Variable
+
+__all__ = ["queens_graph", "queens_instance"]
+
+
+def queens_graph(n: int) -> ConstraintGraph:
+    """The N-queens constraint graph (rows as variables, columns as values)."""
+    if n < 1:
+        raise ValueError("board size must be positive")
+    domain = tuple(range(1, n + 1))
+    graph = ConstraintGraph([Variable(f"row{r}", domain) for r in range(n)], name=f"queens-{n}")
+    for r1 in range(n):
+        for r2 in range(r1 + 1, n):
+            graph.add_not_equal(f"row{r1}", f"row{r2}")
+            offset = r2 - r1
+            for c1 in range(1, n + 1):
+                if c1 + offset <= n:
+                    graph.add_conflict(f"row{r1}", c1, f"row{r2}", c1 + offset)
+                if c1 - offset >= 1:
+                    graph.add_conflict(f"row{r1}", c1, f"row{r2}", c1 - offset)
+    return graph
+
+
+def queens_instance(n: int = 6, *, seed: int = 0) -> Tuple[ConstraintGraph, Dict[str, int]]:
+    """An N-queens instance as ``(graph, clamps)`` (no clamps needed).
+
+    ``seed`` is accepted for interface uniformity with the other scenario
+    generators; the constraint structure of N-queens is fully determined
+    by ``n``, so it only distinguishes instances by name.
+    """
+    graph = queens_graph(n)
+    graph.name = f"queens-{n}-s{seed}"
+    return graph, {}

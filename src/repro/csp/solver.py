@@ -1,0 +1,368 @@
+"""Spiking constraint solver: annealed WTA search on the NPU datapath.
+
+:class:`SpikingCSPSolver` generalises the paper's SNN Sudoku solver
+(§VI-C) to any :class:`~repro.csp.graph.ConstraintGraph`: each candidate
+``(variable, value)`` neuron receives a weak noisy drive, clamped values a
+strong constant drive, and conflicting candidates suppress each other
+through inhibitory synapses until a consistent assignment — a solution —
+remains stable.  The board state is decoded from a sliding window of
+spike counts with recency tie-breaking.
+
+The numerical machinery is *identical* to the Sudoku solver's: the same
+fixed-point population configuration (membrane pin, ``h_shift``), the
+same annealed-noise expression, the same decode and the same batch loop —
+``repro.sudoku.solver.SNNSudokuSolver`` is a thin adapter over this
+module and remains bit-identical to its pre-refactor behaviour.
+
+Batched solving comes in two shapes:
+
+* :meth:`SpikingCSPSolver.solve_batch` — many clamp sets on **one** graph
+  (the Sudoku many-puzzles case);
+* :func:`solve_instances` — many independent instances whose graphs may
+  differ (e.g. a sweep of random coloring instances), as long as their
+  neuron counts match.
+
+Both stack the replicas into one exact-mode
+:class:`~repro.runtime.batch.BatchedNetwork`, freezing replicas as they
+solve so every result is bit-identical to a sequential :meth:`solve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..snn.fixed_izhikevich import FixedPointPopulation
+from ..snn.izhikevich import IzhikevichPopulation
+from ..snn.network import SNNNetwork
+from .config import CSPConfig
+from .graph import ClampsLike, ConstraintGraph
+
+__all__ = ["CSPSolveResult", "SpikingCSPSolver", "decode_assignment", "solve_instances"]
+
+
+@dataclass
+class CSPSolveResult:
+    """Outcome of one spiking constraint-solver run."""
+
+    solved: bool
+    steps: int
+    #: Per-variable assigned value (0 where undecided — see ``decided``).
+    values: np.ndarray
+    #: Per-variable flag: ``True`` where ``values`` holds a real assignment.
+    decided: np.ndarray
+    #: Total number of spikes emitted during the run.
+    total_spikes: int
+    #: Number of neuron updates performed (neurons x sub-steps x steps).
+    neuron_updates: int
+
+    def assignment(self, graph: ConstraintGraph) -> Dict[str, int]:
+        """Decided ``{variable name: value}`` entries."""
+        return graph.assignment_dict(self.values, self.decided)
+
+
+def decode_assignment(
+    graph: ConstraintGraph,
+    window_counts: np.ndarray,
+    last_spike_step: np.ndarray,
+    clamps: ClampsLike = (),
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode an assignment from recent spike activity.
+
+    Within each variable the value with the most spikes in the sliding
+    window wins; ties are broken by the most recent spike (scaled below 1
+    by the global recency maximum, exactly as the Sudoku decode does).
+    Variables whose candidates have not spiked recently stay undecided;
+    clamped variables are always forced to their clamp value.
+
+    Returns ``(values, decided)``; undecided slots of ``values`` hold 0.
+    """
+    counts = np.asarray(window_counts, dtype=np.float64)
+    recency = np.asarray(last_spike_step, dtype=np.float64)
+    score = counts + recency / (recency.max() + 1.0) if recency.max() > 0 else counts
+
+    num_vars = graph.num_variables
+    values = np.zeros(num_vars, dtype=np.int64)
+    shared = graph.homogeneous_domain
+    if shared is not None:
+        width = len(shared)
+        counts2 = counts.reshape(num_vars, width)
+        score2 = score.reshape(num_vars, width)
+        decided = counts2.max(axis=1) > 0
+        winners = np.asarray(shared, dtype=np.int64)[score2.argmax(axis=1)]
+        values[decided] = winners[decided]
+    else:
+        decided = np.zeros(num_vars, dtype=bool)
+        for vi in range(num_vars):
+            start, end = int(graph.offsets[vi]), int(graph.offsets[vi + 1])
+            if counts[start:end].max() > 0:
+                decided[vi] = True
+                pos = int(score[start:end].argmax())
+                values[vi] = graph.variables[vi].domain[pos]
+    for vi, value, _ in graph.resolve_clamps(clamps):
+        values[vi] = value
+        decided[vi] = True
+    return values, decided
+
+
+class SpikingCSPSolver:
+    """Solve finite-domain CSPs with an annealed WTA spiking network.
+
+    Parameters
+    ----------
+    graph:
+        The constraint structure (variables, domains, conflict edges).
+        Clamps are per-instance and passed to :meth:`solve`.
+    config:
+        Weights and drive levels (:class:`CSPConfig`).
+    backend:
+        ``"fixed"`` (default) runs on the NPU fixed-point datapath with
+        the membrane pin enabled — the configuration the paper converged
+        with; ``"float64"`` runs the double-precision reference dynamics.
+    seed:
+        Seed of the exploration-noise stream.
+    """
+
+    def __init__(
+        self,
+        graph: ConstraintGraph,
+        config: Optional[CSPConfig] = None,
+        *,
+        backend: str = "fixed",
+        seed: int = 7,
+    ) -> None:
+        if backend not in ("fixed", "float64"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.graph = graph
+        self.config = config if config is not None else CSPConfig()
+        self.backend = backend
+        self.seed = seed
+        self.synapses = graph.build_synapses(
+            inhibition_weight=self.config.inhibition_weight,
+            self_excitation=self.config.self_excitation,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Network assembly
+    # ------------------------------------------------------------------ #
+    def build_network(self, clamps: ClampsLike = (), *, seed: Optional[int] = None) -> SNNNetwork:
+        """A fresh solver network for one instance (graph + clamps)."""
+        cfg = self.config
+        num_neurons = self.graph.num_neurons
+        a = np.full(num_neurons, cfg.a)
+        b = np.full(num_neurons, cfg.b)
+        c = np.full(num_neurons, cfg.c)
+        d = np.full(num_neurons, cfg.d)
+        if self.backend == "fixed":
+            population = FixedPointPopulation.from_float_parameters(
+                a, b, c, d, h_shift=cfg.h_shift, pin_voltage=cfg.pin_voltage
+            )
+        else:
+            population = IzhikevichPopulation.from_parameters(a, b, c, d)
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        drive = self.graph.drive_vector(
+            clamps, clamp_drive=cfg.clamp_drive, free_bias=cfg.free_bias
+        )
+        free_mask = (drive > 0.0) & (drive != cfg.clamp_drive)
+
+        def external(step: int) -> np.ndarray:
+            # Annealed exploration noise: each cycle ramps the amplitude
+            # from noise_sigma down to anneal_floor * noise_sigma so the
+            # network alternates between exploring and settling.
+            phase = (step % cfg.anneal_period) / max(cfg.anneal_period, 1)
+            amplitude = cfg.noise_sigma * (1.0 - (1.0 - cfg.anneal_floor) * phase)
+            noise = amplitude * rng.standard_normal(num_neurons)
+            # Clamped values and their silenced siblings get no noise.
+            return drive + noise * free_mask
+
+        return SNNNetwork(
+            population=population,
+            synapses=self.synapses,
+            external_input=external,
+            current_mode="decay",
+            tau_select=cfg.tau_select,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        clamps: ClampsLike = (),
+        *,
+        max_steps: int = 3000,
+        check_interval: int = 10,
+    ) -> CSPSolveResult:
+        """Run the network until the decoded assignment is a solution.
+
+        Parameters
+        ----------
+        clamps:
+            Per-instance unary clamps (``{variable: value}``).
+        max_steps:
+            Upper bound on 1 ms network steps.
+        check_interval:
+            How often (in steps) the decoded assignment is tested.
+        """
+        resolved = self.graph.resolve_clamps(clamps)
+        if not self.graph.clamps_consistent(resolved):
+            raise ValueError("clamps violate a constraint edge")
+        entry = _BatchEntry(self.graph, resolved, self.build_network(resolved))
+        return _run_batch(
+            [entry], self.config, max_steps=max_steps, check_interval=check_interval
+        )[0]
+
+    def solve_batch(
+        self,
+        clamps_list: Sequence[ClampsLike],
+        *,
+        max_steps: int = 3000,
+        check_interval: int = 10,
+    ) -> List[CSPSolveResult]:
+        """Solve ``B`` instances of this graph at once on the batch engine.
+
+        All instance networks are stacked into one exact-mode
+        :class:`~repro.runtime.batch.BatchedNetwork` (they share the WTA
+        connectivity and differ only in drive and noise), so every 1 ms
+        step advances the whole batch in fused ``(B, N)`` updates while
+        each result stays bit-identical to a sequential :meth:`solve` —
+        replicas that solve early are frozen while the rest keep running.
+        """
+        entries = []
+        for clamps in clamps_list:
+            resolved = self.graph.resolve_clamps(clamps)
+            if not self.graph.clamps_consistent(resolved):
+                raise ValueError("clamps violate a constraint edge")
+            entries.append(_BatchEntry(self.graph, resolved, self.build_network(resolved)))
+        return _run_batch(entries, self.config, max_steps=max_steps, check_interval=check_interval)
+
+
+def solve_instances(
+    instances: Sequence[Tuple[ConstraintGraph, ClampsLike]],
+    *,
+    config: Optional[CSPConfig] = None,
+    backend: str = "fixed",
+    seeds: Optional[Sequence[int]] = None,
+    seed: int = 7,
+    max_steps: int = 3000,
+    check_interval: int = 10,
+) -> List[CSPSolveResult]:
+    """Solve many ``(graph, clamps)`` instances as one exact-mode batch.
+
+    Unlike :meth:`SpikingCSPSolver.solve_batch`, the graphs may differ
+    between instances (e.g. independently generated coloring instances)
+    as long as every graph has the same neuron count.  ``seeds`` gives a
+    per-instance noise seed (default: ``seed`` for all).
+    """
+    if not instances:
+        return []
+    cfg = config if config is not None else CSPConfig()
+    if seeds is None:
+        seeds = [seed] * len(instances)
+    if len(seeds) != len(instances):
+        raise ValueError("seeds must match the number of instances")
+    sizes = {graph.num_neurons for graph, _ in instances}
+    if len(sizes) != 1:
+        raise ValueError(f"instances have differing neuron counts: {sorted(sizes)}")
+    entries = []
+    for (graph, clamps), instance_seed in zip(instances, seeds):
+        solver = SpikingCSPSolver(graph, cfg, backend=backend, seed=int(instance_seed))
+        resolved = graph.resolve_clamps(clamps)
+        if not graph.clamps_consistent(resolved):
+            raise ValueError("clamps violate a constraint edge")
+        entries.append(_BatchEntry(graph, resolved, solver.build_network(resolved)))
+    return _run_batch(entries, cfg, max_steps=max_steps, check_interval=check_interval)
+
+
+# ---------------------------------------------------------------------- #
+# Shared batch loop (bit-identical to the pre-refactor Sudoku loops)
+# ---------------------------------------------------------------------- #
+@dataclass
+class _BatchEntry:
+    graph: ConstraintGraph
+    clamps: List[Tuple[int, int, int]]
+    network: SNNNetwork
+
+
+def _run_batch(
+    entries: Sequence[_BatchEntry],
+    config: CSPConfig,
+    *,
+    max_steps: int,
+    check_interval: int,
+) -> List[CSPSolveResult]:
+    """Advance all entries together with early freezing of solved replicas.
+
+    This is the Sudoku solver's batch loop, generalised: the per-replica
+    sliding windows, recency bookkeeping, decode points and stop
+    conditions are identical, so a batch of one reproduces the sequential
+    solver exactly and a batch of ``B`` reproduces ``B`` sequential runs.
+    """
+    from ..runtime.batch import BatchedNetwork
+
+    if not entries:
+        return []
+    num = len(entries)
+    num_neurons = entries[0].graph.num_neurons
+    batch = BatchedNetwork.from_networks([entry.network for entry in entries], synapse_mode="exact")
+    substeps = getattr(entries[0].network.population, "substeps_per_ms", 1)
+
+    window = max(1, config.decode_window)
+    history = np.zeros((window, num, num_neurons), dtype=bool)
+    window_counts = np.zeros((num, num_neurons), dtype=np.int64)
+    last_spike_step = np.full((num, num_neurons), -1, dtype=np.int64)
+    total_spikes = np.zeros(num, dtype=np.int64)
+    solved = np.zeros(num, dtype=bool)
+    final_steps = np.zeros(num, dtype=np.int64)
+    values = [np.zeros(entry.graph.num_variables, dtype=np.int64) for entry in entries]
+    decided = [np.zeros(entry.graph.num_variables, dtype=bool) for entry in entries]
+    active = np.ones(num, dtype=bool)
+
+    step = 0
+    for step in range(1, max_steps + 1):
+        fired = batch.step(step)
+        slot = step % window
+        window_counts -= history[slot]
+        history[slot] = fired
+        window_counts += fired
+        # Freeze the statistics of already-solved replicas so each result
+        # matches the sequential solve that stopped there.
+        active_fired = fired & active[:, None]
+        if active_fired.any():
+            last_spike_step[active_fired] = step
+            total_spikes += active_fired.sum(axis=1)
+        if step % check_interval == 0:
+            for b in np.flatnonzero(active):
+                entry = entries[b]
+                vals, dec = decode_assignment(
+                    entry.graph, window_counts[b], last_spike_step[b], entry.clamps
+                )
+                if entry.graph.is_solution(vals, dec):
+                    solved[b] = True
+                    final_steps[b] = step
+                    values[b], decided[b] = vals, dec
+                    active[b] = False
+            if not active.any():
+                break
+    for b in np.flatnonzero(active):
+        entry = entries[b]
+        vals, dec = decode_assignment(
+            entry.graph, window_counts[b], last_spike_step[b], entry.clamps
+        )
+        solved[b] = entry.graph.is_solution(vals, dec)
+        final_steps[b] = step
+        values[b], decided[b] = vals, dec
+
+    return [
+        CSPSolveResult(
+            solved=bool(solved[b]),
+            steps=int(final_steps[b]),
+            values=values[b],
+            decided=decided[b],
+            total_spikes=int(total_spikes[b]),
+            neuron_updates=int(final_steps[b]) * num_neurons * substeps,
+        )
+        for b in range(num)
+    ]

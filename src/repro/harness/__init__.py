@@ -3,6 +3,7 @@
 from . import paper_data
 from .experiments import (
     CycleExperimentResult,
+    csp_solve_rate,
     eighty_twenty_seed_sweep,
     fig2_raster,
     fig3_isi,
@@ -23,6 +24,7 @@ from .reporting import format_comparison, format_kv, format_table
 __all__ = [
     "paper_data",
     "CycleExperimentResult",
+    "csp_solve_rate",
     "eighty_twenty_seed_sweep",
     "fig2_raster",
     "fig3_isi",

@@ -9,7 +9,7 @@ terminal.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 __all__ = ["format_table", "format_comparison", "format_kv"]
 

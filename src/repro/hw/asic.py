@@ -21,7 +21,7 @@ Derived metrics use the paper's definitions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 __all__ = [

@@ -9,9 +9,9 @@ figure can be regenerated without an EDA flow.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from .asic import AsicModel, AsicReport, TechnologyNode
+from .asic import AsicReport
 
 __all__ = ["block_fractions", "render_floorplan", "floorplan_summary"]
 

@@ -16,7 +16,7 @@ cores fit" questions (the 192-core claim) and explore what-if scenarios
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 __all__ = [

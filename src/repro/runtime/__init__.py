@@ -22,7 +22,8 @@ This package makes *batches* of independent simulations the unit of work
     warned serial fallback when the task function cannot be pickled).
 :mod:`repro.runtime.workloads`
     Sweep drivers for the paper's workloads: batched 80-20 seed sweeps
-    and pooled Sudoku solve-rate sweeps.
+    plus pooled Sudoku and constraint-solver (``repro.csp``) solve-rate
+    sweeps.
 """
 
 from .backends import (
@@ -43,6 +44,7 @@ from .workloads import (
     batched_thalamic_provider,
     build_eighty_twenty_replicas,
     eighty_twenty_seed_sweep,
+    pooled_csp_sweep,
     pooled_sudoku_sweep,
     run_many_on_backend,
 )
@@ -68,6 +70,7 @@ __all__ = [
     "batched_thalamic_provider",
     "build_eighty_twenty_replicas",
     "eighty_twenty_seed_sweep",
+    "pooled_csp_sweep",
     "pooled_sudoku_sweep",
     "run_many_on_backend",
 ]

@@ -66,6 +66,7 @@ __all__ = [
 #: Workload identifiers understood by the built-in backends.
 WORKLOAD_EIGHTY_TWENTY = "eighty-twenty"
 WORKLOAD_SUDOKU = "sudoku"
+WORKLOAD_CSP = "csp"
 
 
 @dataclass(frozen=True)
@@ -75,7 +76,7 @@ class RunRequest:
     Parameters
     ----------
     workload:
-        ``"eighty-twenty"`` or ``"sudoku"``.
+        ``"eighty-twenty"``, ``"sudoku"`` or ``"csp"``.
     num_steps:
         Simulation length in 1 ms network steps.
     num_neurons:
@@ -85,8 +86,9 @@ class RunRequest:
         Seed for network construction and input noise.
     options:
         Backend- or workload-specific extras (e.g. ``current_mode`` for
-        the network backends, ``kind`` for the code generators, or
-        ``puzzle`` for Sudoku runs).
+        the network backends, ``kind`` for the code generators,
+        ``puzzle`` for Sudoku runs, or ``scenario`` / ``params`` /
+        ``solver_seed`` for the constraint-solver workload).
     """
 
     workload: str = WORKLOAD_EIGHTY_TWENTY
@@ -199,6 +201,19 @@ class _NetworkBackend:
                 puzzle = SudokuBoard(np.asarray(puzzle))
             solver = SNNSudokuSolver(backend=self._snn_backend, seed=request.seed)
             return solver._build_network(puzzle)
+        if request.workload == WORKLOAD_CSP:
+            from ..csp import SpikingCSPSolver
+            from ..csp.scenarios import make_instance
+
+            scenario = str(options.get("scenario", "coloring"))
+            params = dict(options.get("params", {}))
+            graph, clamps = make_instance(scenario, seed=request.seed, **params)
+            solver = SpikingCSPSolver(
+                graph,
+                backend=self._snn_backend,
+                seed=int(options.get("solver_seed", request.seed)),
+            )
+            return solver.build_network(clamps)
         raise ValueError(f"backend {self.name!r} cannot run workload {request.workload!r}")
 
     def run(self, request: RunRequest) -> RunResult:

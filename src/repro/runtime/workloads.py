@@ -36,6 +36,7 @@ __all__ = [
     "batched_thalamic_provider",
     "eighty_twenty_seed_sweep",
     "pooled_sudoku_sweep",
+    "pooled_csp_sweep",
     "run_many_on_backend",
 ]
 
@@ -249,6 +250,7 @@ def pooled_sudoku_sweep(
     target_clues: int = 30,
     max_steps: int = 6000,
     check_interval: int = 10,
+    solver_seed: int = 7,
     executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, Any]:
     """Solve ``count`` generated puzzles, optionally over a process pool.
@@ -256,6 +258,9 @@ def pooled_sudoku_sweep(
     Each task derives its puzzle from ``base_seed + index`` (matching
     :func:`repro.sudoku.puzzles.generate_puzzle_set`), so results are
     deterministic and identical between serial and process execution.
+    ``solver_seed`` selects the solver's exploration-noise stream for
+    every task (it used to be hard-wired to the solver default, making
+    noise-seed sensitivity studies impossible through this entry point).
     """
     executor = executor if executor is not None else SweepExecutor(mode="serial")
     param_sets = [
@@ -264,6 +269,7 @@ def pooled_sudoku_sweep(
             "target_clues": target_clues,
             "max_steps": max_steps,
             "check_interval": check_interval,
+            "solver_seed": solver_seed,
         }
         for i in range(count)
     ]
@@ -271,6 +277,86 @@ def pooled_sudoku_sweep(
     solved = sum(1 for r in results if r["solved"])
     return {
         "num_puzzles": count,
+        "solved": solved,
+        "solve_rate": solved / count if count else 0.0,
+        "mean_steps": float(np.mean([r["steps"] for r in results])) if results else 0.0,
+        "results": results,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Pooled constraint-solver sweep (one spiking CSP run per instance)
+# ---------------------------------------------------------------------- #
+def _solve_one_csp(task: SweepTask) -> Dict[str, Any]:
+    """Module-level task function (picklable for the process pool)."""
+    from ..csp import SpikingCSPSolver
+    from ..csp.scenarios import make_instance
+
+    params = task.params
+    graph, clamps = make_instance(
+        str(params["scenario"]),
+        seed=int(params["instance_seed"]),
+        **dict(params.get("scenario_params") or {}),
+    )
+    solver = SpikingCSPSolver(
+        graph,
+        backend=str(params.get("backend", "fixed")),
+        seed=int(params.get("solver_seed", 7)),
+    )
+    result = solver.solve(
+        clamps,
+        max_steps=int(params["max_steps"]),
+        check_interval=int(params.get("check_interval", 10)),
+    )
+    return {
+        "scenario": str(params["scenario"]),
+        "instance_seed": int(params["instance_seed"]),
+        "num_neurons": graph.num_neurons,
+        "solved": result.solved,
+        "steps": result.steps,
+        "total_spikes": result.total_spikes,
+    }
+
+
+def pooled_csp_sweep(
+    scenario: str,
+    count: int,
+    *,
+    base_seed: int = 0,
+    solver_seed: int = 7,
+    backend: str = "fixed",
+    max_steps: int = 3000,
+    check_interval: int = 10,
+    scenario_params: Optional[Dict[str, Any]] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> Dict[str, Any]:
+    """Solve ``count`` generated CSP instances, optionally over a process pool.
+
+    Each task derives its instance from ``base_seed + index`` through the
+    deterministic scenario generators (:mod:`repro.csp.scenarios`), so
+    results are identical between serial and process execution.  The
+    vectorised alternative, which stacks all instances into one batched
+    network, is :func:`repro.csp.solver.solve_instances` (used by the
+    harness solve-rate experiment).
+    """
+    executor = executor if executor is not None else SweepExecutor(mode="serial")
+    param_sets = [
+        {
+            "scenario": scenario,
+            "instance_seed": base_seed + i,
+            "solver_seed": solver_seed,
+            "backend": backend,
+            "max_steps": max_steps,
+            "check_interval": check_interval,
+            "scenario_params": dict(scenario_params or {}),
+        }
+        for i in range(count)
+    ]
+    results = executor.run(_solve_one_csp, param_sets, base_seed=base_seed)
+    solved = sum(1 for r in results if r["solved"])
+    return {
+        "scenario": scenario,
+        "num_instances": count,
         "solved": solved,
         "solve_rate": solved / count if count else 0.0,
         "mean_steps": float(np.mean([r["steps"] for r in results])) if results else 0.0,

@@ -10,8 +10,8 @@ publish exact geometries, so they are exposed as parameters).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 __all__ = ["CacheConfig", "CacheStats", "Cache", "default_icache_config", "default_dcache_config"]
 

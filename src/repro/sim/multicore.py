@@ -10,7 +10,7 @@ used for the single-core baseline (one core, no contention).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .bus import BusStats, SharedBus

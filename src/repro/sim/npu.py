@@ -39,7 +39,6 @@ from ..isa.nm_ext import (
     TIMESTEP_COARSE_MS,
     TIMESTEP_FINE_MS,
     unpack_nmldh_operand,
-    unpack_nmldl_operands,
 )
 
 __all__ = [

@@ -8,8 +8,8 @@ alpha/gamma population-rhythm measures the paper refers to qualitatively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -104,7 +104,6 @@ class SpikeRaster:
 
 def interspike_intervals(raster: SpikeRaster) -> np.ndarray:
     """All inter-spike intervals (in steps) pooled over every neuron."""
-    intervals: List[np.ndarray] = []
     order = np.lexsort((raster.times, raster.neuron_ids))
     ids = raster.neuron_ids[order]
     times = raster.times[order]

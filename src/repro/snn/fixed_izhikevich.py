@@ -16,8 +16,7 @@ AMPA-style ``nmdec`` path).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -21,7 +21,7 @@ shift-add approximation (the ``nmdec`` path).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Tuple
 
 import numpy as np
 from scipy import sparse

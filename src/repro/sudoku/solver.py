@@ -1,31 +1,39 @@
-"""SNN Sudoku solver driving the WTA network on the NPU fixed-point datapath.
+"""SNN Sudoku solver: a thin adapter over the generic ``repro.csp`` engine.
 
-The solver runs the 729-neuron Winner-Takes-All network built by
-:mod:`repro.sudoku.wta` on the bit-exact fixed-point population (the same
-arithmetic as the ``nmpn``/``nmdec`` instructions, including the *pin*
-behaviour the paper added specifically for this use case) and decodes the
-board state from the spike activity: within each cell the digit whose
-neuron spiked most recently is the cell's current assignment.  The run
-stops as soon as the decoded board is a valid, clue-respecting solution.
+The paper's solver (§VI-C) runs the 729-neuron Winner-Takes-All network on
+the bit-exact fixed-point population (the same arithmetic as the
+``nmpn``/``nmdec`` instructions, including the *pin* behaviour the paper
+added specifically for this use case) and decodes the board state from the
+spike activity.  Since the WTA machinery generalises to any finite-domain
+constraint problem, the construction now lives in :mod:`repro.csp`:
 
-Free cells receive a weak noisy drive so the network performs a stochastic
-search over candidate assignments; conflicting assignments suppress each
-other through the inhibitory WTA connections until a consistent
-configuration — a solution — remains stable.
+* the 9x9 board maps to the shared Sudoku
+  :class:`~repro.csp.graph.ConstraintGraph`
+  (:func:`repro.csp.scenarios.sudoku.sudoku_graph`);
+* clue cells map to unary clamps;
+* the run itself is :class:`~repro.csp.solver.SpikingCSPSolver` with the
+  board-shaped :class:`WTAConfig` translated to a
+  :class:`~repro.csp.config.CSPConfig`.
+
+The adapter is **bit-identical** to the pre-refactor solver: same noise
+streams, same synapse matrix, same decode and stop conditions, hence the
+same boards, spike counts and step counts (locked down by
+``tests/csp/test_sudoku_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
-from ..snn.fixed_izhikevich import FixedPointPopulation
-from ..snn.izhikevich import IzhikevichPopulation
+from ..csp.config import CSPConfig
+from ..csp.scenarios.sudoku import clamps_from_cells, shared_sudoku_graph
+from ..csp.solver import CSPSolveResult, SpikingCSPSolver, decode_assignment
 from ..snn.network import SNNNetwork
 from .board import BacktrackingSolver, SudokuBoard
-from .wta import GRID, NUM_NEURONS, WTAConfig, build_wta_synapses, neuron_index
+from .wta import GRID, WTAConfig
 
 __all__ = ["SolveResult", "SNNSudokuSolver"]
 
@@ -43,6 +51,25 @@ class SolveResult:
     neuron_updates: int
     #: True when the answer also matches the reference backtracking solution.
     matches_reference: Optional[bool] = None
+
+
+def _csp_config(config: WTAConfig) -> CSPConfig:
+    """Translate the board-shaped WTA parameters to the generic config."""
+    return CSPConfig(
+        inhibition_weight=config.inhibition_weight,
+        self_excitation=config.self_excitation,
+        clamp_drive=config.clue_drive,
+        free_bias=config.free_bias,
+        noise_sigma=config.noise_sigma,
+        tau_select=config.tau_select,
+        a=config.a,
+        b=config.b,
+        c=config.c,
+        d=config.d,
+        decode_window=config.decode_window,
+        anneal_period=config.anneal_period,
+        anneal_floor=config.anneal_floor,
+    )
 
 
 class SNNSudokuSolver:
@@ -72,55 +99,24 @@ class SNNSudokuSolver:
         self.config = config if config is not None else WTAConfig()
         self.backend = backend
         self.seed = seed
-        self.synapses = build_wta_synapses(self.config)
+        self._csp = SpikingCSPSolver(
+            shared_sudoku_graph(), _csp_config(self.config), backend=backend, seed=seed
+        )
+        self.synapses = self._csp.synapses
 
     # ------------------------------------------------------------------ #
-    # Network assembly
+    # Network assembly (kept for the runtime backends)
     # ------------------------------------------------------------------ #
     def _drive_vector(self, puzzle: SudokuBoard) -> np.ndarray:
         """Constant per-neuron drive: strong for clue digits, bias otherwise."""
-        cfg = self.config
-        drive = np.full(NUM_NEURONS, cfg.free_bias, dtype=np.float64)
-        for row, col, digit in puzzle.clue_positions():
-            # The clue digit is driven hard; its cell-mates are silenced.
-            for d in range(1, GRID + 1):
-                drive[neuron_index(row, col, d)] = 0.0
-            drive[neuron_index(row, col, digit)] = cfg.clue_drive
-        return drive
+        return self._csp.graph.drive_vector(
+            clamps_from_cells(puzzle.cells),
+            clamp_drive=self.config.clue_drive,
+            free_bias=self.config.free_bias,
+        )
 
     def _build_network(self, puzzle: SudokuBoard) -> SNNNetwork:
-        cfg = self.config
-        a = np.full(NUM_NEURONS, cfg.a)
-        b = np.full(NUM_NEURONS, cfg.b)
-        c = np.full(NUM_NEURONS, cfg.c)
-        d = np.full(NUM_NEURONS, cfg.d)
-        if self.backend == "fixed":
-            population = FixedPointPopulation.from_float_parameters(
-                a, b, c, d, h_shift=1, pin_voltage=True
-            )
-        else:
-            population = IzhikevichPopulation.from_parameters(a, b, c, d)
-        rng = np.random.default_rng(self.seed)
-        drive = self._drive_vector(puzzle)
-        free_mask = (drive > 0.0) & (drive != cfg.clue_drive)
-
-        def external(step: int) -> np.ndarray:
-            # Annealed exploration noise: each cycle ramps the amplitude
-            # from noise_sigma down to anneal_floor * noise_sigma so the
-            # network alternates between exploring and settling.
-            phase = (step % cfg.anneal_period) / max(cfg.anneal_period, 1)
-            amplitude = cfg.noise_sigma * (1.0 - (1.0 - cfg.anneal_floor) * phase)
-            noise = amplitude * rng.standard_normal(NUM_NEURONS)
-            # Clue cells and silenced cell-mates get no exploration noise.
-            return drive + noise * free_mask
-
-        return SNNNetwork(
-            population=population,
-            synapses=self.synapses,
-            external_input=external,
-            current_mode="decay",
-            tau_select=cfg.tau_select,
-        )
+        return self._csp.build_network(clamps_from_cells(puzzle.cells))
 
     # ------------------------------------------------------------------ #
     # Decoding
@@ -138,21 +134,37 @@ class SNNSudokuSolver:
         candidates have not spiked recently stay empty; clue cells are
         always taken from the puzzle.
         """
-        grid = np.zeros((GRID, GRID), dtype=np.int64)
-        counts = window_counts.reshape(GRID, GRID, GRID).astype(np.float64)
-        recency = last_spike_step.reshape(GRID, GRID, GRID).astype(np.float64)
-        # Combine: window count dominates, recency (scaled below 1) breaks ties.
-        score = counts + recency / (recency.max() + 1.0) if recency.max() > 0 else counts
-        decided = counts.max(axis=2) > 0
-        winners = score.argmax(axis=2) + 1
-        grid[decided] = winners[decided]
-        clue_mask = puzzle.cells > 0
-        grid[clue_mask] = puzzle.cells[clue_mask]
-        return SudokuBoard(grid)
+        values, _ = decode_assignment(
+            shared_sudoku_graph(),
+            window_counts,
+            last_spike_step,
+            clamps_from_cells(puzzle.cells),
+        )
+        return SudokuBoard(values.reshape(GRID, GRID))
 
     # ------------------------------------------------------------------ #
     # Solving
     # ------------------------------------------------------------------ #
+    def _to_result(
+        self,
+        csp_result: CSPSolveResult,
+        puzzle: SudokuBoard,
+        verify_against_reference: bool,
+    ) -> SolveResult:
+        board = SudokuBoard(csp_result.values.reshape(GRID, GRID))
+        matches = None
+        if verify_against_reference:
+            reference = BacktrackingSolver().solve(puzzle)
+            matches = reference is not None and bool(np.all(reference.cells == board.cells))
+        return SolveResult(
+            solved=csp_result.solved,
+            steps=csp_result.steps,
+            board=board,
+            total_spikes=csp_result.total_spikes,
+            neuron_updates=csp_result.neuron_updates,
+            matches_reference=matches,
+        )
+
     def solve(
         self,
         puzzle: SudokuBoard,
@@ -177,46 +189,12 @@ class SNNSudokuSolver:
         """
         if not puzzle.is_valid():
             raise ValueError("puzzle contains conflicting clues")
-        cfg = self.config
-        network = self._build_network(puzzle)
-        last_spike_step = np.full(NUM_NEURONS, -1, dtype=np.int64)
-        window = max(1, cfg.decode_window)
-        history = np.zeros((window, NUM_NEURONS), dtype=bool)
-        window_counts = np.zeros(NUM_NEURONS, dtype=np.int64)
-        total_spikes = 0
-        solved = False
-        decoded = puzzle.copy()
-        step = 0
-        substeps = getattr(network.population, "substeps_per_ms", 1)
-        for step in range(1, max_steps + 1):
-            fired = network.step(step)
-            slot = step % window
-            window_counts -= history[slot]
-            history[slot] = fired
-            window_counts += fired
-            if fired.any():
-                last_spike_step[fired] = step
-                total_spikes += int(fired.sum())
-            if step % check_interval == 0:
-                decoded = self.decode(window_counts, last_spike_step, puzzle)
-                if decoded.is_solved() and decoded.respects_clues(puzzle):
-                    solved = True
-                    break
-        if not solved:
-            decoded = self.decode(window_counts, last_spike_step, puzzle)
-            solved = decoded.is_solved() and decoded.respects_clues(puzzle)
-        matches = None
-        if verify_against_reference:
-            reference = BacktrackingSolver().solve(puzzle)
-            matches = reference is not None and bool(np.all(reference.cells == decoded.cells))
-        return SolveResult(
-            solved=solved,
-            steps=step,
-            board=decoded,
-            total_spikes=total_spikes,
-            neuron_updates=step * NUM_NEURONS * substeps,
-            matches_reference=matches,
+        csp_result = self._csp.solve(
+            clamps_from_cells(puzzle.cells),
+            max_steps=max_steps,
+            check_interval=check_interval,
         )
+        return self._to_result(csp_result, puzzle, verify_against_reference)
 
     def solve_batch(
         self,
@@ -228,89 +206,29 @@ class SNNSudokuSolver:
     ) -> List[SolveResult]:
         """Solve ``B`` puzzles at once on the vectorised batch engine.
 
-        All puzzle networks are stacked into one
+        All puzzle networks are stacked into one exact-mode
         :class:`~repro.runtime.batch.BatchedNetwork` (they share the WTA
         connectivity and differ only in drive and noise), so every 1 ms
-        step advances the whole batch in fused ``(B, 729)`` updates.  The
-        batch runs in the engine's *exact* mode, making each result
-        bit-identical to a sequential :meth:`solve` call on the same
-        puzzle — including the per-puzzle noise streams, decode windows
-        and step counts.  Replicas that solve early are frozen (their
-        result recorded) while the rest of the batch keeps running; the
-        run stops as soon as every replica has solved or ``max_steps`` is
-        reached.
+        step advances the whole batch in fused ``(B, 729)`` updates while
+        each result stays bit-identical to a sequential :meth:`solve` call
+        on the same puzzle — including the per-puzzle noise streams,
+        decode windows and step counts.  Replicas that solve early are
+        frozen (their result recorded) while the rest of the batch keeps
+        running; the run stops as soon as every replica has solved or
+        ``max_steps`` is reached.
         """
-        from ..runtime.batch import BatchedNetwork
-
-        if not puzzles:
-            return []
         for puzzle in puzzles:
             if not puzzle.is_valid():
                 raise ValueError("puzzle contains conflicting clues")
-        cfg = self.config
-        networks = [self._build_network(p) for p in puzzles]
-        batch = BatchedNetwork.from_networks(networks, synapse_mode="exact")
-        num_puzzles = len(puzzles)
-        substeps = getattr(networks[0].population, "substeps_per_ms", 1)
-
-        window = max(1, cfg.decode_window)
-        history = np.zeros((window, num_puzzles, NUM_NEURONS), dtype=bool)
-        window_counts = np.zeros((num_puzzles, NUM_NEURONS), dtype=np.int64)
-        last_spike_step = np.full((num_puzzles, NUM_NEURONS), -1, dtype=np.int64)
-        total_spikes = np.zeros(num_puzzles, dtype=np.int64)
-        solved = np.zeros(num_puzzles, dtype=bool)
-        final_steps = np.full(num_puzzles, 0, dtype=np.int64)
-        boards: List[SudokuBoard] = [p.copy() for p in puzzles]
-        active = np.ones(num_puzzles, dtype=bool)
-
-        step = 0
-        for step in range(1, max_steps + 1):
-            fired = batch.step(step)
-            slot = step % window
-            window_counts -= history[slot]
-            history[slot] = fired
-            window_counts += fired
-            # Freeze the statistics of already-solved replicas so each
-            # result matches the sequential solve that stopped there.
-            active_fired = fired & active[:, None]
-            if active_fired.any():
-                last_spike_step[active_fired] = step
-                total_spikes += active_fired.sum(axis=1)
-            if step % check_interval == 0:
-                for b in np.flatnonzero(active):
-                    decoded = self.decode(window_counts[b], last_spike_step[b], puzzles[b])
-                    if decoded.is_solved() and decoded.respects_clues(puzzles[b]):
-                        solved[b] = True
-                        final_steps[b] = step
-                        boards[b] = decoded
-                        active[b] = False
-                if not active.any():
-                    break
-        for b in np.flatnonzero(active):
-            decoded = self.decode(window_counts[b], last_spike_step[b], puzzles[b])
-            solved[b] = decoded.is_solved() and decoded.respects_clues(puzzles[b])
-            final_steps[b] = step
-            boards[b] = decoded
-
-        results: List[SolveResult] = []
-        for b in range(num_puzzles):
-            matches = None
-            if verify_against_reference:
-                reference = BacktrackingSolver().solve(puzzles[b])
-                matches = reference is not None and bool(
-                    np.all(reference.cells == boards[b].cells)
-                )
-            results.append(
-                SolveResult(
-                    solved=bool(solved[b]),
-                    steps=int(final_steps[b]),
-                    board=boards[b],
-                    total_spikes=int(total_spikes[b]),
-                    neuron_updates=int(final_steps[b]) * NUM_NEURONS * substeps,
-                    matches_reference=matches,
-                )
-            )
-        return results
+        csp_results = self._csp.solve_batch(
+            [clamps_from_cells(p.cells) for p in puzzles],
+            max_steps=max_steps,
+            check_interval=check_interval,
+        )
+        return [
+            self._to_result(csp_result, puzzle, verify_against_reference)
+            for csp_result, puzzle in zip(csp_results, puzzles)
+        ]
 
     def solve_many(
         self, puzzles: List[SudokuBoard], *, max_steps: int = 3000

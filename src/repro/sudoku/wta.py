@@ -19,12 +19,8 @@ inhibited by a conflicting, more strongly supported digit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import List, Tuple
 
-import numpy as np
-from scipy import sparse
-
-from .board import SudokuBoard
 from ..snn.synapse import SparseSynapses
 
 __all__ = ["WTAConfig", "neuron_index", "neuron_coordinates", "conflicting_neurons", "build_wta_synapses", "WTAStatistics", "connectivity_statistics"]
@@ -112,25 +108,20 @@ def conflicting_neurons(row: int, col: int, digit: int) -> List[int]:
 
 
 def build_wta_synapses(config: WTAConfig | None = None) -> SparseSynapses:
-    """Build the 729-neuron inhibition/self-excitation connectivity."""
+    """Build the 729-neuron inhibition/self-excitation connectivity.
+
+    Delegates to the generic constraint-graph builder
+    (:meth:`repro.csp.graph.ConstraintGraph.build_synapses`) on the shared
+    Sudoku graph — the resulting matrix is identical (structure and
+    values, including the explicit self-excitation diagonal) to the
+    historical hand-rolled construction.
+    """
     cfg = config if config is not None else WTAConfig()
-    rows: List[int] = []
-    cols: List[int] = []
-    vals: List[float] = []
-    for row in range(GRID):
-        for col in range(GRID):
-            for digit in range(1, GRID + 1):
-                pre = neuron_index(row, col, digit)
-                for post in conflicting_neurons(row, col, digit):
-                    rows.append(post)
-                    cols.append(pre)
-                    vals.append(cfg.inhibition_weight)
-                # Self-excitation keeps the current winner active.
-                rows.append(pre)
-                cols.append(pre)
-                vals.append(cfg.self_excitation)
-    matrix = sparse.coo_matrix((vals, (rows, cols)), shape=(NUM_NEURONS, NUM_NEURONS))
-    return SparseSynapses(matrix)
+    from ..csp.scenarios.sudoku import shared_sudoku_graph
+
+    return shared_sudoku_graph().build_synapses(
+        inhibition_weight=cfg.inhibition_weight, self_excitation=cfg.self_excitation
+    )
 
 
 @dataclass

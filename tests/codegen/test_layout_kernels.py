@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.codegen import (
-    NetworkDataLayout,
     WorkloadSpec,
     baseline_kernel,
     build_eighty_twenty_workload,

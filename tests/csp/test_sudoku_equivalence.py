@@ -1,0 +1,219 @@
+"""Equivalence suite: the refactored Sudoku adapter vs. pre-refactor results.
+
+Two layers of protection:
+
+* **structural** — the generic constraint-graph construction reproduces
+  the historical hand-rolled WTA synapse matrix and decode *exactly*
+  (the legacy builders are inlined here verbatim, so this comparison
+  stays valid even though the production code now delegates);
+* **behavioural** — golden results captured from the pre-refactor
+  ``SNNSudokuSolver`` (boards, step counts, spike counts for fixed and
+  float64 backends, sequential and batched paths) must be reproduced
+  bit-identically by the adapter.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.csp import SpikingCSPSolver, decode_assignment
+from repro.csp.scenarios.sudoku import clamps_from_cells, shared_sudoku_graph, sudoku_graph
+from repro.sudoku import (
+    EXAMPLE_PUZZLE,
+    SNNSudokuSolver,
+    SudokuBoard,
+    WTAConfig,
+    build_wta_synapses,
+    conflicting_neurons,
+    neuron_index,
+)
+from repro.sudoku.puzzles import PuzzleGenerator
+from repro.sudoku.wta import GRID, NUM_NEURONS
+
+
+# ---------------------------------------------------------------------- #
+# Inlined pre-refactor constructions (kept verbatim as the reference)
+# ---------------------------------------------------------------------- #
+def _legacy_build_wta_synapses(cfg):
+    rows, cols, vals = [], [], []
+    for row in range(GRID):
+        for col in range(GRID):
+            for digit in range(1, GRID + 1):
+                pre = neuron_index(row, col, digit)
+                for post in conflicting_neurons(row, col, digit):
+                    rows.append(post)
+                    cols.append(pre)
+                    vals.append(cfg.inhibition_weight)
+                rows.append(pre)
+                cols.append(pre)
+                vals.append(cfg.self_excitation)
+    return sparse.csc_matrix(
+        sparse.coo_matrix((vals, (rows, cols)), shape=(NUM_NEURONS, NUM_NEURONS)),
+        dtype=np.float64,
+    )
+
+
+def _legacy_decode(window_counts, last_spike_step, puzzle):
+    grid = np.zeros((GRID, GRID), dtype=np.int64)
+    counts = window_counts.reshape(GRID, GRID, GRID).astype(np.float64)
+    recency = last_spike_step.reshape(GRID, GRID, GRID).astype(np.float64)
+    score = counts + recency / (recency.max() + 1.0) if recency.max() > 0 else counts
+    decided = counts.max(axis=2) > 0
+    winners = score.argmax(axis=2) + 1
+    grid[decided] = winners[decided]
+    clue_mask = puzzle.cells > 0
+    grid[clue_mask] = puzzle.cells[clue_mask]
+    return SudokuBoard(grid)
+
+
+#: Golden results captured from the pre-refactor solver (commit efaa5e8).
+GOLDEN = {
+    "short_fixed_seed1": {
+        "solved": False,
+        "steps": 60,
+        "total_spikes": 1082,
+        "board": "531678942647195838.9834.167815764..34.68537217.3.2149616953728427.4193.5354682679",
+    },
+    "short_float64_seed2": {
+        "solved": False,
+        "steps": 50,
+        "total_spikes": 14724,
+        "board": "537171111617195237198311761871261223471823121772121126361117281727419215737181379",
+    },
+    "full_fixed_seed3": {
+        "solved": True,
+        "steps": 415,
+        "total_spikes": 7758,
+        "board": "534678912672195348198342567859761423426853791713924856961537284287419635345286179",
+        "matches_reference": True,
+    },
+    "batch_fixed_seed7": [
+        {
+            "solved": False,
+            "steps": 1500,
+            "total_spikes": 29287,
+            "board": "85326.947264789153791534682372956814918342576546817329137498265485623791629.71438",
+        },
+        {
+            "solved": True,
+            "steps": 1250,
+            "total_spikes": 24309,
+            "board": "293748516147365298865129437781632945936574821452891673579416382614283759328957164",
+        },
+    ],
+}
+
+
+class TestStructuralEquivalence:
+    def test_graph_indexing_matches_wta_convention(self):
+        graph = sudoku_graph()
+        assert graph.num_neurons == NUM_NEURONS
+        for row in (0, 4, 8):
+            for col in (0, 3, 8):
+                for digit in (1, 5, 9):
+                    assert (
+                        graph.neuron_index(f"cell({row},{col})", digit)
+                        == neuron_index(row, col, digit)
+                    )
+
+    def test_conflict_sets_match_figure4(self):
+        graph = shared_sudoku_graph()
+        for idx in (0, 100, 364, 500, 728):
+            row, rest = divmod(idx, GRID * GRID)
+            col, digit0 = divmod(rest, GRID)
+            assert graph.conflicting_neurons(idx) == conflicting_neurons(row, col, digit0 + 1)
+
+    @pytest.mark.parametrize(
+        "cfg", [WTAConfig(), WTAConfig(inhibition_weight=-12.5, self_excitation=0.75)]
+    )
+    def test_synapse_matrix_bit_identical(self, cfg):
+        legacy = _legacy_build_wta_synapses(cfg)
+        refactored = build_wta_synapses(cfg).matrix
+        assert legacy.shape == refactored.shape
+        assert legacy.nnz == refactored.nnz == NUM_NEURONS * 28 + NUM_NEURONS
+        assert (legacy != refactored).nnz == 0
+        assert np.array_equal(legacy.toarray(), refactored.toarray())
+
+    def test_decode_bit_identical_on_random_activity(self):
+        puzzle = SudokuBoard.from_string(EXAMPLE_PUZZLE)
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            counts = rng.integers(0, 5, size=NUM_NEURONS)
+            last = rng.integers(-1, 300, size=NUM_NEURONS)
+            legacy = _legacy_decode(counts, last, puzzle)
+            refactored = SNNSudokuSolver.decode(counts, last, puzzle)
+            assert np.array_equal(legacy.cells, refactored.cells)
+
+    def test_drive_vector_matches_clue_construction(self):
+        puzzle = SudokuBoard.from_string(EXAMPLE_PUZZLE)
+        cfg = WTAConfig()
+        drive = SNNSudokuSolver()._drive_vector(puzzle)
+        expected = np.full(NUM_NEURONS, cfg.free_bias, dtype=np.float64)
+        for row, col, digit in puzzle.clue_positions():
+            for d in range(1, GRID + 1):
+                expected[neuron_index(row, col, d)] = 0.0
+            expected[neuron_index(row, col, digit)] = cfg.clue_drive
+        assert np.array_equal(drive, expected)
+
+
+class TestGoldenResults:
+    def _check(self, result, golden):
+        assert result.board.to_string() == golden["board"]
+        assert result.total_spikes == golden["total_spikes"]
+        assert result.steps == golden["steps"]
+        assert result.solved == golden["solved"]
+
+    def test_short_fixed_run_matches_golden(self):
+        puzzle = SudokuBoard.from_string(EXAMPLE_PUZZLE)
+        result = SNNSudokuSolver(seed=1).solve(puzzle, max_steps=60, check_interval=20)
+        self._check(result, GOLDEN["short_fixed_seed1"])
+
+    def test_short_float64_run_matches_golden(self):
+        puzzle = SudokuBoard.from_string(EXAMPLE_PUZZLE)
+        with np.errstate(over="ignore", invalid="ignore"):
+            result = SNNSudokuSolver(seed=2, backend="float64").solve(
+                puzzle, max_steps=50, check_interval=10
+            )
+        self._check(result, GOLDEN["short_float64_seed2"])
+
+    @pytest.mark.slow
+    def test_full_fixed_solve_matches_golden(self):
+        puzzle = SudokuBoard.from_string(EXAMPLE_PUZZLE)
+        result = SNNSudokuSolver(seed=3).solve(
+            puzzle, max_steps=4000, check_interval=5, verify_against_reference=True
+        )
+        self._check(result, GOLDEN["full_fixed_seed3"])
+        assert result.matches_reference == GOLDEN["full_fixed_seed3"]["matches_reference"]
+
+    @pytest.mark.slow
+    def test_batch_matches_golden(self):
+        generator = PuzzleGenerator()
+        puzzles = [generator.generate(seed=1000 + i, target_clues=32).puzzle for i in range(2)]
+        results = SNNSudokuSolver().solve_batch(puzzles, max_steps=1500, check_interval=10)
+        for result, golden in zip(results, GOLDEN["batch_fixed_seed7"]):
+            self._check(result, golden)
+
+
+class TestAdapterDelegation:
+    def test_generic_solver_and_adapter_agree(self):
+        """The adapter and a hand-built SpikingCSPSolver are interchangeable."""
+        puzzle = SudokuBoard.from_string(EXAMPLE_PUZZLE)
+        clamps = clamps_from_cells(puzzle.cells)
+        generic = SpikingCSPSolver(shared_sudoku_graph(), seed=1).solve(
+            clamps, max_steps=60, check_interval=20
+        )
+        adapted = SNNSudokuSolver(seed=1).solve(puzzle, max_steps=60, check_interval=20)
+        assert np.array_equal(generic.values.reshape(GRID, GRID), adapted.board.cells)
+        assert generic.total_spikes == adapted.total_spikes
+        assert generic.steps == adapted.steps
+        assert generic.solved == adapted.solved
+
+    def test_decode_assignment_forces_clamps(self):
+        graph = shared_sudoku_graph()
+        puzzle = SudokuBoard.from_string(EXAMPLE_PUZZLE)
+        counts = np.zeros(NUM_NEURONS, dtype=np.int64)
+        last = np.full(NUM_NEURONS, -1, dtype=np.int64)
+        values, decided = decode_assignment(graph, counts, last, clamps_from_cells(puzzle.cells))
+        assert int(decided.sum()) == puzzle.num_clues
+        board = SudokuBoard(values.reshape(GRID, GRID))
+        assert board.respects_clues(puzzle)

@@ -1,6 +1,5 @@
 """Tests for the reporting helpers and the lightweight experiment drivers."""
 
-import pytest
 
 from repro.harness import (
     fig4_wta,

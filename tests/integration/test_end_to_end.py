@@ -12,9 +12,8 @@ import pytest
 
 from repro.codegen import build_eighty_twenty_workload, build_sudoku_workload
 from repro.fixedpoint import Q15_16, unpack_vu
-from repro.sim import CoreConfig, CycleAccurateCore, MultiCoreSystem
+from repro.sim import CycleAccurateCore, MultiCoreSystem
 from repro.snn import FixedPointPopulation
-from repro.snn.eighty_twenty import EightyTwentyConfig, build_eighty_twenty
 
 
 class TestExtensionVsBaseline:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.isa import assemble
 from repro.sim import (
-    BusStats,
     CoreConfig,
     DEFAULT_MEMORY_MAP,
     FunctionalSimulator,

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.isa import assemble
-from repro.sim import DEFAULT_MEMORY_MAP, FunctionalSimulator, Memory, SimulationError
+from repro.sim import DEFAULT_MEMORY_MAP, FunctionalSimulator, Memory
 
 DATA_BASE = 0x1000_0000
 

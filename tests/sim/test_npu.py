@@ -87,7 +87,6 @@ class TestSingleNeuronDynamics:
         # Drive hard so a spike happens quickly, then check the reset value.
         v, u = -50.0, -13.0
         for _ in range(500):
-            v_prev = v
             v, u, spike = npu.update_float(v, u, 30.0)
             if spike:
                 assert v == pytest.approx(-65.0, abs=0.01)

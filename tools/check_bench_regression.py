@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare emitted BENCH_*.json to the baseline.
+
+The benchmark suite emits machine-readable result files
+(``benchmarks/BENCH_iss.json`` from ``benchmarks/bench_iss_throughput.py``
+and ``benchmarks/BENCH_csp.json`` from ``benchmarks/bench_csp_solver.py``);
+this tool compares them against the committed baselines in
+``benchmarks/baselines/`` and fails when a tracked higher-is-better
+metric dropped by more than the allowed fraction (default 30%).
+
+Comparisons are *configuration-aware*: a metric is only compared when the
+run configuration recorded next to it (workload label, instance counts,
+step budgets) matches the baseline's, so a CI smoke run at reduced sizes
+skips the mismatching entries with a notice instead of producing a bogus
+verdict.  Shared CI runners can relax the allowed drop through
+``BENCH_REGRESSION_MAX_DROP`` (the 0.30 default is the local /
+contractual gate).
+
+Usage:  python tools/check_bench_regression.py [--max-drop 0.30]
+            [--baseline-dir benchmarks/baselines] [--current-dir benchmarks]
+            [--allow-missing]
+
+Exit status: 0 when every comparable metric is within bounds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Tracked result files: name -> comparison strategy ("iss" | "csp").
+BENCH_FILES = {
+    "BENCH_iss.json": "iss",
+    "BENCH_csp.json": "csp",
+}
+
+
+def _load(path: Path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+class Comparator:
+    def __init__(self, max_drop: float) -> None:
+        self.max_drop = max_drop
+        self.failures = []
+        self.notices = []
+        self.checked = 0
+
+    def check(self, label: str, metric: str, baseline: float, current: float) -> None:
+        """Fail when a higher-is-better metric dropped more than max_drop."""
+        self.checked += 1
+        if baseline <= 0:
+            self.notices.append(f"{label}: baseline {metric} is {baseline}; skipping")
+            return
+        drop = (baseline - current) / baseline
+        if drop > self.max_drop:
+            self.failures.append(
+                f"{label}: {metric} dropped {drop:.0%} "
+                f"(baseline {baseline:.4g} -> current {current:.4g}, "
+                f"allowed {self.max_drop:.0%})"
+            )
+
+    def skip(self, message: str) -> None:
+        self.notices.append(message)
+
+
+def compare_iss(baseline: dict, current: dict, cmp: Comparator) -> None:
+    """ISS throughput file: one flat record keyed by a workload label."""
+    if baseline.get("workload") != current.get("workload"):
+        cmp.skip(
+            f"BENCH_iss: workload {current.get('workload')!r} does not match "
+            f"baseline {baseline.get('workload')!r}; skipping throughput comparison"
+        )
+        return
+    cmp.check("BENCH_iss", "ips_fast", baseline.get("ips_fast", 0), current.get("ips_fast", 0))
+    cmp.check("BENCH_iss", "speedup", baseline.get("speedup", 0), current.get("speedup", 0))
+
+
+def compare_csp(baseline: dict, current: dict, cmp: Comparator) -> None:
+    """CSP solver file: one record per scenario family."""
+    for scenario, base in sorted(baseline.items()):
+        cur = current.get(scenario)
+        if cur is None:
+            cmp.skip(f"BENCH_csp[{scenario}]: missing from current run; skipping")
+            continue
+        config_keys = ("num_instances", "num_neurons", "max_steps", "throughput_steps")
+        if any(base.get(k) != cur.get(k) for k in config_keys):
+            cmp.skip(
+                f"BENCH_csp[{scenario}]: run configuration differs from baseline; "
+                "skipping comparison"
+            )
+            continue
+        label = f"BENCH_csp[{scenario}]"
+        cmp.check(label, "solve_rate", base.get("solve_rate", 0), cur.get("solve_rate", 0))
+        cmp.check(
+            label,
+            "updates_per_second",
+            base.get("updates_per_second", 0),
+            cur.get("updates_per_second", 0),
+        )
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_MAX_DROP", "0.30")),
+        help="maximum allowed fractional drop of a higher-is-better metric",
+    )
+    parser.add_argument("--baseline-dir", type=Path, default=REPO_ROOT / "benchmarks" / "baselines")
+    parser.add_argument("--current-dir", type=Path, default=REPO_ROOT / "benchmarks")
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="treat missing current result files as a notice instead of an error",
+    )
+    args = parser.parse_args(argv)
+
+    cmp = Comparator(args.max_drop)
+    missing = []
+    for name, kind in BENCH_FILES.items():
+        baseline_path = args.baseline_dir / name
+        current_path = args.current_dir / name
+        if not baseline_path.exists():
+            cmp.skip(f"{name}: no committed baseline at {baseline_path}; skipping")
+            continue
+        if not current_path.exists():
+            if args.allow_missing:
+                cmp.skip(f"{name}: no current results at {current_path}; skipping")
+            else:
+                missing.append(str(current_path))
+            continue
+        baseline, current = _load(baseline_path), _load(current_path)
+        if kind == "iss":
+            compare_iss(baseline, current, cmp)
+        else:
+            compare_csp(baseline, current, cmp)
+
+    for notice in cmp.notices:
+        print(f"note: {notice}")
+    if missing:
+        print("check_bench_regression: missing benchmark results:", file=sys.stderr)
+        for path in missing:
+            print(f"  {path} (run the emitting benchmark first)", file=sys.stderr)
+        return 1
+    if cmp.failures:
+        print("check_bench_regression: throughput regressions detected:", file=sys.stderr)
+        for failure in cmp.failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"check_bench_regression: OK "
+        f"({cmp.checked} metrics within {args.max_drop:.0%} of baseline)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

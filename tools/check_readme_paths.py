@@ -8,8 +8,14 @@ and verifies each one exists relative to the repository root.  Keeps the
 figure/table index in the README and the module references in the docs
 from rotting as the tree evolves.
 
-Usage:  python tools/check_readme_paths.py [markdown files...]
-        (defaults to README.md and docs/*.md)
+GitHub Actions workflow files (``.github/workflows/*.yml``) are checked
+too — every line is treated as code — so CI steps that invoke scripts or
+benchmark files (``tools/check_bench_regression.py``,
+``benchmarks/bench_csp_solver.py``, ...) break the docs lint instead of
+the live pipeline when a referenced file is moved.
+
+Usage:  python tools/check_readme_paths.py [files...]
+        (defaults to README.md, docs/*.md and .github/workflows/*.yml)
 
 Exit status: 0 when every referenced path exists, 1 otherwise.
 """
@@ -24,6 +30,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Top-level directories whose mention must resolve to a real path.
 KNOWN_ROOTS = ("src", "tests", "benchmarks", "examples", "docs", "tools", ".github")
+
+#: Path prefixes of generated (gitignored) outputs: referenced from docs
+#: and CI but absent in a fresh checkout, so existence is not required.
+#: The committed reference copies under ``benchmarks/baselines/`` do not
+#: match these prefixes and stay fully checked.
+GENERATED_PREFIXES = ("benchmarks/BENCH_",)
 
 #: Top-level files whose mention must resolve.
 KNOWN_FILES = (
@@ -45,15 +57,22 @@ _CODE_SPAN_RE = re.compile(r"`([^`\n]+)`")
 _FENCE_RE = re.compile(r"^(```|~~~)")
 
 
-def _candidate_paths(text: str) -> set:
-    """Path-like tokens from code spans and fenced code blocks."""
+def _candidate_paths(text: str, *, all_code: bool = False) -> set:
+    """Path-like tokens from code spans and fenced code blocks.
+
+    With ``all_code=True`` (workflow / script files) every line is
+    scanned, not just Markdown code spans.
+    """
     candidates = set()
     in_fence = False
     for line in text.splitlines():
-        if _FENCE_RE.match(line.strip()):
+        if not all_code and _FENCE_RE.match(line.strip()):
             in_fence = not in_fence
             continue
-        segments = [m.group(1) for m in _CODE_SPAN_RE.finditer(line)] if not in_fence else [line]
+        if all_code or in_fence:
+            segments = [line]
+        else:
+            segments = [m.group(1) for m in _CODE_SPAN_RE.finditer(line)]
         for segment in segments:
             for match in _PATH_RE.finditer(segment):
                 candidates.add(match.group(1))
@@ -76,12 +95,15 @@ def _normalise(token: str) -> str:
 
 def check_file(markdown: Path) -> list:
     text = markdown.read_text(encoding="utf-8")
+    all_code = markdown.suffix in (".yml", ".yaml")
     missing = []
-    for token in sorted(_candidate_paths(text)):
+    for token in sorted(_candidate_paths(text, all_code=all_code)):
         cleaned = _normalise(token)
         if not cleaned or cleaned.endswith("/"):
             cleaned = cleaned.rstrip("/")
         if not cleaned:
+            continue
+        if cleaned.startswith(GENERATED_PREFIXES):
             continue
         target = REPO_ROOT / cleaned
         if not target.exists():
@@ -93,7 +115,13 @@ def main(argv: list) -> int:
     if argv:
         files = [Path(a).resolve() for a in argv]
     else:
-        files = [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+        workflows = REPO_ROOT / ".github" / "workflows"
+        files = (
+            [REPO_ROOT / "README.md"]
+            + sorted((REPO_ROOT / "docs").glob("*.md"))
+            + sorted(workflows.glob("*.yml"))
+            + sorted(workflows.glob("*.yaml"))
+        )
     files = [f for f in files if f.exists()]
     if not files:
         print("check_readme_paths: no markdown files found", file=sys.stderr)
