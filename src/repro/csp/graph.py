@@ -38,6 +38,16 @@ VariableRef = Union[int, str, "Variable"]
 ClampsLike = Union[Mapping[VariableRef, int], Iterable[Tuple[VariableRef, int]]]
 
 
+class _ResolvedClamps(list):
+    """Marker type for :meth:`ConstraintGraph.resolve_clamps` output.
+
+    Items are validated ``(variable_index, value, neuron_index)`` triples;
+    feeding the list back into ``resolve_clamps`` (as the hot decode loop
+    does every check interval) skips re-validation.  Plain lists of
+    triples do NOT get the shortcut — they take the full validated path.
+    """
+
+
 @dataclass(frozen=True)
 class Variable:
     """A named CSP variable with a finite, ordered candidate domain."""
@@ -97,6 +107,13 @@ class ConstraintGraph:
         #: Explicit (inter-variable) conflicts per neuron, as index sets.
         self._explicit: List[Set[int]] = [set() for _ in range(int(self.offsets[-1]))]
         self._conflict_arrays: Optional[List[np.ndarray]] = None
+        #: CSR view of the conflict lists (flat targets + indptr), cached
+        #: for the vectorised solution check.
+        self._conflict_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: value -> in-domain position lookup for the homogeneous-domain
+        #: fast path (built lazily; the flag caches the negative case).
+        self._pos_lookup: Optional[np.ndarray] = None
+        self._pos_lookup_ready = False
 
     # ------------------------------------------------------------------ #
     # Lookups
@@ -172,6 +189,7 @@ class ConstraintGraph:
         self._explicit[na].add(nb)
         self._explicit[nb].add(na)
         self._conflict_arrays = None
+        self._conflict_csr = None
 
     def add_not_equal(self, var_a: VariableRef, var_b: VariableRef) -> None:
         """Forbid ``var_a == var_b`` (conflict on every shared domain value)."""
@@ -211,6 +229,32 @@ class ConstraintGraph:
                 for i in range(self.num_neurons)
             ]
         return self._conflict_arrays
+
+    def _conflicts_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The conflict lists as one flat (targets, indptr) CSR pair."""
+        if self._conflict_csr is None:
+            conflicts = self._conflicts()
+            lengths = np.asarray([t.size for t in conflicts], dtype=np.int64)
+            indptr = np.concatenate([[0], np.cumsum(lengths)])
+            targets = np.concatenate(conflicts) if indptr[-1] else np.empty(0, dtype=np.int64)
+            self._conflict_csr = (targets, indptr)
+        return self._conflict_csr
+
+    def _shared_pos_lookup(self) -> Optional[np.ndarray]:
+        """``value -> domain position`` table for homogeneous domains.
+
+        ``None`` when the variables do not share one domain or the domain
+        has negative values (the table is a plain array lookup).
+        """
+        if not self._pos_lookup_ready:
+            self._pos_lookup_ready = True
+            shared = self.homogeneous_domain
+            if shared is not None and min(shared) >= 0:
+                lookup = np.full(max(shared) + 1, -1, dtype=np.int64)
+                for pos, value in enumerate(shared):
+                    lookup[value] = pos
+                self._pos_lookup = lookup
+        return self._pos_lookup
 
     def build_synapses(
         self, *, inhibition_weight: float = -30.0, self_excitation: float = 0.0
@@ -259,6 +303,11 @@ class ConstraintGraph:
         Raises ``ValueError`` on out-of-domain values or a variable
         clamped twice to different values.
         """
+        if isinstance(clamps, _ResolvedClamps):
+            # This method's own output, fed back in by the hot decode
+            # loop.  Re-resolving is pure overhead: the triples were
+            # validated when first produced.
+            return clamps
         items = clamps.items() if isinstance(clamps, Mapping) else clamps
         resolved: Dict[int, Tuple[int, int, int]] = {}
         for item in items:
@@ -274,7 +323,7 @@ class ConstraintGraph:
                     f"{previous[1]} and {value}"
                 )
             resolved[vi] = (vi, int(value), nidx)
-        return [resolved[vi] for vi in sorted(resolved)]
+        return _ResolvedClamps(resolved[vi] for vi in sorted(resolved))
 
     def clamps_consistent(self, clamps: ClampsLike) -> bool:
         """``True`` when no two clamps sit on a conflict edge."""
@@ -306,7 +355,17 @@ class ConstraintGraph:
     # ------------------------------------------------------------------ #
     def selected_neurons(self, values: np.ndarray, decided: np.ndarray) -> np.ndarray:
         """Neuron indices selected by the decided entries of an assignment."""
-        indices = [self.neuron_index(vi, int(values[vi])) for vi in np.flatnonzero(decided)]
+        decided_vars = np.flatnonzero(decided)
+        lookup = self._shared_pos_lookup()
+        if lookup is not None and decided_vars.size:
+            # Homogeneous-domain fast path: one table lookup per variable
+            # instead of a Python dict probe (bit-identical indices).
+            vals = np.asarray(values, dtype=np.int64)[decided_vars]
+            if vals.min() >= 0 and vals.max() < lookup.size:
+                positions = lookup[vals]
+                if np.all(positions >= 0):
+                    return self.offsets[decided_vars] + positions
+        indices = [self.neuron_index(vi, int(values[vi])) for vi in decided_vars]
         return np.asarray(indices, dtype=np.int64)
 
     def is_solution(self, values: np.ndarray, decided: np.ndarray) -> bool:
@@ -316,12 +375,16 @@ class ConstraintGraph:
         selected = np.zeros(self.num_neurons, dtype=bool)
         picks = self.selected_neurons(values, decided)
         selected[picks] = True
-        conflicts = self._conflicts()
-        for nidx in picks:
-            targets = conflicts[nidx]
-            if targets.size and selected[targets].any():
-                return False
-        return True
+        # One vectorised pass over the picks' concatenated conflict lists
+        # (equivalent to checking each pick's conflicts in turn).
+        targets, indptr = self._conflicts_csr()
+        counts = indptr[picks + 1] - indptr[picks]
+        total = int(counts.sum())
+        if total == 0:
+            return True
+        offsets = np.repeat(indptr[picks] - (np.cumsum(counts) - counts), counts)
+        flat = targets[offsets + np.arange(total)]
+        return not bool(selected[flat].any())
 
     def assignment_dict(self, values: np.ndarray, decided: np.ndarray) -> Dict[str, int]:
         """Decided ``{variable name: value}`` entries of an assignment."""

@@ -23,8 +23,10 @@ Batched solving comes in two shapes:
   neuron counts match.
 
 Both stack the replicas into one exact-mode
-:class:`~repro.runtime.batch.BatchedNetwork`, freezing replicas as they
-solve so every result is bit-identical to a sequential :meth:`solve`.
+:class:`~repro.runtime.batch.BatchedNetwork` riding the integer CSR
+synapse kernel and a compiled batched drive provider, and *shrink* the
+batch as replicas solve (dropping converged instances from the live
+state) — every result stays bit-identical to a sequential :meth:`solve`.
 """
 
 from __future__ import annotations
@@ -123,6 +125,11 @@ class SpikingCSPSolver:
         with; ``"float64"`` runs the double-precision reference dynamics.
     seed:
         Seed of the exploration-noise stream.
+    synapses:
+        Optional pre-built WTA connectivity to reuse (must come from an
+        identical graph and weight configuration).  Solvers sharing one
+        synapse object let the batch engine take its shared-matrix fast
+        path; by default each solver builds its own.
     """
 
     def __init__(
@@ -132,6 +139,7 @@ class SpikingCSPSolver:
         *,
         backend: str = "fixed",
         seed: int = 7,
+        synapses=None,
     ) -> None:
         if backend not in ("fixed", "float64"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -139,9 +147,13 @@ class SpikingCSPSolver:
         self.config = config if config is not None else CSPConfig()
         self.backend = backend
         self.seed = seed
-        self.synapses = graph.build_synapses(
-            inhibition_weight=self.config.inhibition_weight,
-            self_excitation=self.config.self_excitation,
+        self.synapses = (
+            synapses
+            if synapses is not None
+            else graph.build_synapses(
+                inhibition_weight=self.config.inhibition_weight,
+                self_excitation=self.config.self_excitation,
+            )
         )
 
     # ------------------------------------------------------------------ #
@@ -176,6 +188,22 @@ class SpikingCSPSolver:
             noise = amplitude * rng.standard_normal(num_neurons)
             # Clamped values and their silenced siblings get no noise.
             return drive + noise * free_mask
+
+        # Declare the closure's structure so the batch engine can compile
+        # a bit-identical vectorised (B, N) provider out of many of them
+        # (repro.runtime.drives).  The spec shares this closure's RNG; the
+        # compiler clones its state, so whichever of the two ends up being
+        # consumed sees the identical stream.
+        from ..runtime.drives import AnnealedNoiseSpec
+
+        external.drive_spec = AnnealedNoiseSpec(
+            drive=drive,
+            free_mask=free_mask,
+            rng=rng,
+            noise_sigma=cfg.noise_sigma,
+            anneal_period=cfg.anneal_period,
+            anneal_floor=cfg.anneal_floor,
+        )
 
         return SNNNetwork(
             population=population,
@@ -228,7 +256,8 @@ class SpikingCSPSolver:
         connectivity and differ only in drive and noise), so every 1 ms
         step advances the whole batch in fused ``(B, N)`` updates while
         each result stays bit-identical to a sequential :meth:`solve` —
-        replicas that solve early are frozen while the rest keep running.
+        replicas that solve early are dropped from the live batch while
+        the rest keep running.
         """
         entries = []
         for clamps in clamps_list:
@@ -267,8 +296,19 @@ def solve_instances(
     if len(sizes) != 1:
         raise ValueError(f"instances have differing neuron counts: {sorted(sizes)}")
     entries = []
+    # Instances of the *same* graph object share one synapse build, so
+    # the batch engine sees one shared connectivity matrix and takes its
+    # shared-sparse fast path instead of stacking B identical copies.
+    shared_synapses: Dict[int, object] = {}
     for (graph, clamps), instance_seed in zip(instances, seeds):
-        solver = SpikingCSPSolver(graph, cfg, backend=backend, seed=int(instance_seed))
+        solver = SpikingCSPSolver(
+            graph,
+            cfg,
+            backend=backend,
+            seed=int(instance_seed),
+            synapses=shared_synapses.get(id(graph)),
+        )
+        shared_synapses[id(graph)] = solver.synapses
         resolved = graph.resolve_clamps(clamps)
         if not graph.clamps_consistent(resolved):
             raise ValueError("clamps violate a constraint edge")
@@ -293,20 +333,39 @@ def _run_batch(
     max_steps: int,
     check_interval: int,
 ) -> List[CSPSolveResult]:
-    """Advance all entries together with early freezing of solved replicas.
+    """Advance all entries together, shrinking the batch as replicas solve.
 
     This is the Sudoku solver's batch loop, generalised: the per-replica
     sliding windows, recency bookkeeping, decode points and stop
     conditions are identical, so a batch of one reproduces the sequential
     solver exactly and a batch of ``B`` reproduces ``B`` sequential runs.
+
+    Three layers of the batched runtime keep the loop fast without
+    touching the results (replicas are independent, so none of them can
+    observe the others):
+
+    * the annealed-noise closures are compiled into one bit-identical
+      vectorised ``(B, N)`` provider (:mod:`repro.runtime.drives`);
+    * the WTA weights are small exact Q15.16 values, so propagation runs
+      on the integer CSR kernel (:mod:`repro.runtime.batch`);
+    * replicas whose decoded assignment is already a solution are
+      *dropped from the live batch* (:meth:`BatchedNetwork.retain`), so
+      late steps only advance the still-unsolved instances instead of
+      merely masking the solved ones out of the statistics.
     """
     from ..runtime.batch import BatchedNetwork
+    from ..runtime.drives import compile_batched_external
 
     if not entries:
         return []
     num = len(entries)
     num_neurons = entries[0].graph.num_neurons
-    batch = BatchedNetwork.from_networks([entry.network for entry in entries], synapse_mode="exact")
+    networks = [entry.network for entry in entries]
+    batch = BatchedNetwork.from_networks(
+        networks,
+        synapse_mode="exact",
+        batched_external=compile_batched_external(networks),
+    )
     substeps = getattr(entries[0].network.population, "substeps_per_ms", 1)
 
     window = max(1, config.decode_window)
@@ -318,23 +377,31 @@ def _run_batch(
     final_steps = np.zeros(num, dtype=np.int64)
     values = [np.zeros(entry.graph.num_variables, dtype=np.int64) for entry in entries]
     decided = [np.zeros(entry.graph.num_variables, dtype=bool) for entry in entries]
-    active = np.ones(num, dtype=bool)
+    #: Original entry index of each live batch row.
+    live = np.arange(num, dtype=np.int64)
 
     step = 0
     for step in range(1, max_steps + 1):
-        fired = batch.step(step)
+        fired = batch.step(step)  # (B_live, N)
         slot = step % window
-        window_counts -= history[slot]
-        history[slot] = fired
-        window_counts += fired
-        # Freeze the statistics of already-solved replicas so each result
-        # matches the sequential solve that stopped there.
-        active_fired = fired & active[:, None]
-        if active_fired.any():
-            last_spike_step[active_fired] = step
-            total_spikes += active_fired.sum(axis=1)
+        if live.size == num:
+            window_counts -= history[slot]
+            history[slot] = fired
+            window_counts += fired
+            if fired.any():
+                last_spike_step[fired] = step
+                total_spikes += fired.sum(axis=1)
+        else:
+            window_counts[live] -= history[slot, live]
+            history[slot, live] = fired
+            window_counts[live] += fired
+            if fired.any():
+                rows, cols = np.nonzero(fired)
+                last_spike_step[live[rows], cols] = step
+                total_spikes[live] += fired.sum(axis=1)
         if step % check_interval == 0:
-            for b in np.flatnonzero(active):
+            keep_rows = []
+            for row, b in enumerate(live):
                 entry = entries[b]
                 vals, dec = decode_assignment(
                     entry.graph, window_counts[b], last_spike_step[b], entry.clamps
@@ -343,10 +410,15 @@ def _run_batch(
                     solved[b] = True
                     final_steps[b] = step
                     values[b], decided[b] = vals, dec
-                    active[b] = False
-            if not active.any():
+                else:
+                    keep_rows.append(row)
+            if not keep_rows:
+                live = live[:0]
                 break
-    for b in np.flatnonzero(active):
+            if len(keep_rows) != len(live):
+                batch.retain(keep_rows)
+                live = live[keep_rows]
+    for b in live:
         entry = entries[b]
         vals, dec = decode_assignment(
             entry.graph, window_counts[b], last_spike_step[b], entry.clamps

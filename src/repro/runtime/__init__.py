@@ -16,6 +16,10 @@ This package makes *batches* of independent simulations the unit of work
     :class:`RunResultCache`, a content-addressed on-disk cache serving
     repeated backend runs without recomputation (keyed by backend name,
     request and a fingerprint of the ``repro`` sources).
+:mod:`repro.runtime.drives`
+    Drive compilation: per-replica external-input closures compiled into
+    one vectorised ``(B, N)`` provider with bit-identical per-replica
+    noise streams (pregenerated in chunks), feeding the batch engine.
 :mod:`repro.runtime.sweep`
     :class:`SweepExecutor`, fanning non-vectorisable ISA-level runs out
     over a process pool with deterministic per-task seeding (with a
@@ -38,6 +42,14 @@ from .backends import (
 )
 from .batch import BatchedNetwork, BatchIncompatibleError
 from .cache import RunResultCache, code_fingerprint, default_cache
+from .drives import (
+    AnnealedNoiseSpec,
+    CompiledAnnealedDrive,
+    CompiledDrive,
+    CompiledScaledDrive,
+    ScaledNoiseSpec,
+    compile_batched_external,
+)
 from .sweep import SweepExecutor, SweepTask, derive_task_seed
 from .workloads import (
     SeedSweepResult,
@@ -63,6 +75,12 @@ __all__ = [
     "RunResultCache",
     "code_fingerprint",
     "default_cache",
+    "AnnealedNoiseSpec",
+    "CompiledAnnealedDrive",
+    "CompiledDrive",
+    "CompiledScaledDrive",
+    "ScaledNoiseSpec",
+    "compile_batched_external",
     "SweepExecutor",
     "SweepTask",
     "derive_task_seed",

@@ -1,0 +1,265 @@
+"""Compiled batched external-input providers (drive compilation).
+
+The exact-mode batch engine historically evaluated one external-input
+closure per replica per step — ``B`` Python calls, ``B`` small RNG draws
+and ``B`` temporary arrays every millisecond.  This module *compiles*
+those per-replica closures into a single ``(B, N)`` vectorised provider
+that is **bit-identical** to calling the closures one by one:
+
+* every replica keeps its own independent noise stream (a clone of the
+  generator its closure would have consumed), so results remain
+  bit-comparable with sequential runs;
+* the streams are pregenerated in chunks of :data:`DEFAULT_CHUNK_STEPS`
+  network steps with one ``standard_normal`` call per replica per chunk.
+  NumPy's ``Generator.standard_normal`` fills output arrays sequentially
+  from the underlying bit stream, so a ``(chunk, N)`` draw yields exactly
+  the same values as ``chunk`` successive ``(N,)`` draws (locked down in
+  ``tests/runtime/test_drives.py``);
+* the per-step arithmetic (anneal amplitude, mask, drive offset, scale)
+  runs as a handful of fused elementwise ``(B, N)`` operations matching
+  the closure expressions term for term.
+
+Closures advertise their compilability by carrying a ``drive_spec``
+attribute (an :class:`AnnealedNoiseSpec`, attached by
+:meth:`repro.csp.solver.SpikingCSPSolver.build_network`); the 80-20
+workload's ``EightyTwentyNetwork.thalamic_input`` bound method is
+recognised structurally.  :func:`compile_batched_external` returns
+``None`` when any provider cannot be compiled, in which case the batch
+engine falls back to the per-replica loop.
+
+Compiled providers support :meth:`~CompiledDrive.retain` (drop replicas)
+so the batched constraint solver can shrink the active set together with
+the network state, and declare ``batch_shape`` so
+:class:`~repro.runtime.batch.BatchedNetwork` validates the output shape
+once at construction instead of every step.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..snn.eighty_twenty import EightyTwentyNetwork
+from ..snn.network import SNNNetwork
+
+__all__ = [
+    "DEFAULT_CHUNK_STEPS",
+    "AnnealedNoiseSpec",
+    "ScaledNoiseSpec",
+    "CompiledDrive",
+    "CompiledAnnealedDrive",
+    "CompiledScaledDrive",
+    "compile_batched_external",
+]
+
+#: Network steps of noise pregenerated per replica per generator call.
+DEFAULT_CHUNK_STEPS = 32
+
+
+@dataclass
+class AnnealedNoiseSpec:
+    """Declarative form of the constraint solver's annealed-noise closure.
+
+    ``drive + amplitude(step) * standard_normal(N) * free_mask`` with
+    ``amplitude(step) = noise_sigma * (1 - (1 - anneal_floor) * phase)``
+    and ``phase = (step % anneal_period) / max(anneal_period, 1)``.
+    """
+
+    drive: np.ndarray
+    free_mask: np.ndarray
+    rng: np.random.Generator
+    noise_sigma: float
+    anneal_period: int
+    anneal_floor: float
+
+
+@dataclass
+class ScaledNoiseSpec:
+    """Declarative form of a per-neuron-scaled noise drive (80-20 thalamic)."""
+
+    scale: np.ndarray
+    rng: np.random.Generator
+
+
+def _clone_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Snapshot a generator so the compiled drive never perturbs the source."""
+    return copy.deepcopy(rng)
+
+
+class _ChunkedNormals:
+    """Per-replica standard-normal streams, pregenerated in step chunks.
+
+    Each replica's stream is bit-identical to successive per-step
+    ``standard_normal(num_values)`` draws from (a clone of) its generator.
+    """
+
+    def __init__(
+        self, rngs: Sequence[np.random.Generator], num_values: int, chunk_steps: int
+    ) -> None:
+        if chunk_steps < 1:
+            raise ValueError("chunk_steps must be positive")
+        self._rngs = [_clone_rng(rng) for rng in rngs]
+        self._chunk_steps = chunk_steps
+        self._buffer = np.empty((len(self._rngs), chunk_steps, num_values), dtype=np.float64)
+        self._row = chunk_steps  # force a refill on the first call
+
+    def next_rows(self) -> np.ndarray:
+        """The next ``(B, num_values)`` slab of every replica's stream."""
+        if self._row == self._chunk_steps:
+            for b, rng in enumerate(self._rngs):
+                rng.standard_normal(out=self._buffer[b])
+            self._row = 0
+        rows = self._buffer[:, self._row, :]
+        self._row += 1
+        return rows
+
+    def retain(self, keep: Sequence[int]) -> None:
+        keep = list(keep)
+        self._rngs = [self._rngs[i] for i in keep]
+        self._buffer = np.ascontiguousarray(self._buffer[keep])
+
+
+class CompiledDrive:
+    """Base of the compiled providers: shape contract plus retain plumbing."""
+
+    batch_shape: tuple
+
+    def __call__(self, step: int) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def retain(self, keep: Sequence[int]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class CompiledAnnealedDrive(CompiledDrive):
+    """All replicas' annealed-noise drives as one vectorised provider."""
+
+    def __init__(
+        self, specs: Sequence[AnnealedNoiseSpec], *, chunk_steps: int = DEFAULT_CHUNK_STEPS
+    ) -> None:
+        if not specs:
+            raise ValueError("cannot compile zero drives")
+        params = {(s.noise_sigma, s.anneal_period, s.anneal_floor) for s in specs}
+        if len(params) != 1:
+            raise ValueError("all replicas must share the anneal configuration")
+        self._sigma, self._period, self._floor = next(iter(params))
+        self._drives = np.stack([np.asarray(s.drive, dtype=np.float64) for s in specs])
+        self._masks = np.stack([np.asarray(s.free_mask, dtype=bool) for s in specs])
+        num_values = self._drives.shape[1]
+        self._normals = _ChunkedNormals([s.rng for s in specs], num_values, chunk_steps)
+        self._noise = np.empty_like(self._drives)
+        self._out = np.empty_like(self._drives)
+        self.batch_shape = self._drives.shape
+
+    def __call__(self, step: int) -> np.ndarray:
+        # Identical term order to the per-replica closure: amplitude is
+        # computed in Python-float arithmetic, then scalar-multiplied
+        # into the noise, masked, and offset by the constant drive.
+        phase = (step % self._period) / max(self._period, 1)
+        amplitude = self._sigma * (1.0 - (1.0 - self._floor) * phase)
+        normals = self._normals.next_rows()
+        np.multiply(normals, amplitude, out=self._noise)
+        self._noise *= self._masks
+        np.add(self._drives, self._noise, out=self._out)
+        return self._out
+
+    def retain(self, keep: Sequence[int]) -> None:
+        keep = list(keep)
+        self._drives = np.ascontiguousarray(self._drives[keep])
+        self._masks = np.ascontiguousarray(self._masks[keep])
+        self._normals.retain(keep)
+        self._noise = np.empty_like(self._drives)
+        self._out = np.empty_like(self._drives)
+        self.batch_shape = self._drives.shape
+
+
+class CompiledScaledDrive(CompiledDrive):
+    """All replicas' scaled-noise (thalamic) drives as one provider."""
+
+    def __init__(
+        self, specs: Sequence[ScaledNoiseSpec], *, chunk_steps: int = DEFAULT_CHUNK_STEPS
+    ) -> None:
+        if not specs:
+            raise ValueError("cannot compile zero drives")
+        self._scales = np.stack([np.asarray(s.scale, dtype=np.float64) for s in specs])
+        num_values = self._scales.shape[1]
+        self._normals = _ChunkedNormals([s.rng for s in specs], num_values, chunk_steps)
+        self._out = np.empty_like(self._scales)
+        self.batch_shape = self._scales.shape
+
+    def __call__(self, step: int) -> np.ndarray:
+        normals = self._normals.next_rows()
+        np.multiply(normals, self._scales, out=self._out)
+        return self._out
+
+    def retain(self, keep: Sequence[int]) -> None:
+        keep = list(keep)
+        self._scales = np.ascontiguousarray(self._scales[keep])
+        self._normals.retain(keep)
+        self._out = np.empty_like(self._scales)
+        self.batch_shape = self._scales.shape
+
+
+def _spec_of(network: SNNNetwork):
+    """The drive spec of a network's external provider, or ``None``."""
+    provider = network.external_input
+    if provider is None:
+        return None
+    spec = getattr(provider, "drive_spec", None)
+    if spec is not None:
+        return spec
+    # The 80-20 thalamic input is a bound method of the network
+    # definition; recognise it structurally and lift its config + live
+    # generator into a spec (the generator is cloned at compile time).
+    owner = getattr(provider, "__self__", None)
+    if (
+        isinstance(owner, EightyTwentyNetwork)
+        and getattr(provider, "__func__", None) is EightyTwentyNetwork.thalamic_input
+    ):
+        cfg = owner.config
+        scale = np.concatenate(
+            [
+                np.full(cfg.num_excitatory, cfg.thalamic_excitatory, dtype=np.float64),
+                np.full(cfg.num_inhibitory, cfg.thalamic_inhibitory, dtype=np.float64),
+            ]
+        )
+        return ScaledNoiseSpec(scale=scale, rng=owner.rng)
+    return None
+
+
+def compile_batched_external(
+    networks: Sequence[SNNNetwork], *, chunk_steps: int = DEFAULT_CHUNK_STEPS
+) -> Optional[CompiledDrive]:
+    """Compile the networks' per-replica input closures into one provider.
+
+    Returns a :class:`CompiledDrive` producing ``(B, N)`` arrays
+    bit-identical to the per-replica closure outputs, or ``None`` when
+    any closure is unrecognised (opaque callables, mixed drive families,
+    heterogeneous anneal configurations) — callers then fall back to the
+    per-replica loop, which handles every provider.
+    """
+    specs: List[object] = []
+    for network in networks:
+        spec = _spec_of(network)
+        if spec is None:
+            return None
+        specs.append(spec)
+    # Replicas sharing one generator object would interleave a single
+    # stream when run per replica; independent clones cannot reproduce
+    # that, so such batches are not compilable.
+    if len({id(s.rng) for s in specs}) != len(specs):
+        return None
+    if all(isinstance(s, AnnealedNoiseSpec) for s in specs):
+        params = {(s.noise_sigma, s.anneal_period, s.anneal_floor) for s in specs}
+        widths = {s.drive.shape for s in specs}
+        if len(params) != 1 or len(widths) != 1:
+            return None
+        return CompiledAnnealedDrive(specs, chunk_steps=chunk_steps)
+    if all(isinstance(s, ScaledNoiseSpec) for s in specs):
+        if len({s.scale.shape for s in specs}) != 1:
+            return None
+        return CompiledScaledDrive(specs, chunk_steps=chunk_steps)
+    return None

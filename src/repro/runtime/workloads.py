@@ -28,6 +28,7 @@ from ..snn.network import SNNNetwork
 from .batch import BatchedNetwork
 from .backends import RunRequest, RunResult, eighty_twenty_config, get_backend, run_on_backend
 from .cache import RunResultCache
+from .drives import compile_batched_external
 from .sweep import SweepExecutor, SweepTask
 
 __all__ = [
@@ -171,7 +172,15 @@ def eighty_twenty_seed_sweep(
         )
         rasters = batch.run(num_steps)
     else:
-        batch = BatchedNetwork.from_networks(networks, synapse_mode="exact")
+        # The per-replica thalamic closures compile into one bit-exact
+        # vectorised provider (per-replica streams pregenerated in
+        # chunks), so the exact sweep stays bit-identical to the
+        # sequential loop while skipping B Python calls per step.
+        batch = BatchedNetwork.from_networks(
+            networks,
+            synapse_mode="exact",
+            batched_external=compile_batched_external(networks),
+        )
         rasters = batch.run(num_steps)
     summaries = []
     for seed, raster in zip(seeds, rasters):

@@ -21,7 +21,7 @@ shift-add approximation (the ``nmdec`` path).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -29,7 +29,24 @@ from scipy import sparse
 from ..fixedpoint import Q15_16
 from .fixed_izhikevich import decay_current_raw
 
-__all__ = ["DenseSynapses", "SparseSynapses", "CurrentState"]
+__all__ = ["DenseSynapses", "SparseSynapses", "CurrentState", "quantize_weights_q15_16"]
+
+
+def quantize_weights_q15_16(weights: np.ndarray) -> Tuple[np.ndarray, bool]:
+    """Quantise a weight array to raw Q15.16 ``int64`` payloads.
+
+    Returns ``(raw, lossless)`` where ``lossless`` is ``True`` iff every
+    weight is *exactly* representable in Q15.16 (no rounding, no
+    saturation).  Lossless weights are the precondition of the batched
+    integer propagation path: when they hold, any float64 summation of
+    the weights is exact (every partial sum is an integer multiple of
+    ``2**-16`` well inside the 53-bit mantissa), so an integer gather +
+    reduction is bit-identical to the sequential float propagation.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    raw = np.asarray(Q15_16.from_float(weights), dtype=np.int64)
+    lossless = bool(np.all(raw.astype(np.float64) / Q15_16.scale == weights))
+    return raw, lossless
 
 
 class DenseSynapses:
@@ -40,6 +57,13 @@ class DenseSynapses:
         if weights.ndim != 2:
             raise ValueError("weight matrix must be 2-D [post, pre]")
         self.weights = weights
+        # Column-gather scratch, sized to the observed firing counts and
+        # grown geometrically (firing is typically sparse, so worst-case
+        # ``(post, pre)`` sizing would waste weights-sized memory per
+        # instance).  Fortran order keeps the ``[:, :k]`` slice
+        # contiguous so the gather writes straight into it instead of
+        # materialising a fresh ``(post, k)`` array per step.
+        self._gather_scratch: Optional[np.ndarray] = None
 
     @property
     def num_pre(self) -> int:
@@ -54,14 +78,29 @@ class DenseSynapses:
         """Number of non-zero synapses."""
         return int(np.count_nonzero(self.weights))
 
+    def quantized_q15_16(self) -> Tuple[np.ndarray, bool]:
+        """Raw Q15.16 weights plus the lossless-quantisation flag."""
+        return quantize_weights_q15_16(self.weights)
+
     def propagate(self, fired: np.ndarray) -> np.ndarray:
         """Synaptic current delivered by the firing presynaptic neurons."""
         fired = np.asarray(fired, dtype=bool)
         if fired.shape[0] != self.num_pre:
             raise ValueError("fired mask length does not match presynaptic count")
-        if not fired.any():
+        idx = np.flatnonzero(fired)
+        if idx.size == 0:
             return np.zeros(self.num_post, dtype=np.float64)
-        return self.weights[:, fired].sum(axis=1)
+        # Gather the firing columns into the preallocated scratch and
+        # pairwise-sum them.  NumPy's pairwise reduction depends only on
+        # the reduction length, not the memory layout, so this is
+        # bit-identical to the historical ``weights[:, fired].sum(axis=1)``
+        # (locked down in tests/snn) without the per-step column copy.
+        if self._gather_scratch is None or self._gather_scratch.shape[1] < idx.size:
+            width = min(self.num_pre, 2 * idx.size)
+            self._gather_scratch = np.empty((self.num_post, width), order="F")
+        columns = self._gather_scratch[:, : idx.size]
+        np.take(self.weights, idx, axis=1, out=columns)
+        return columns.sum(axis=1)
 
 
 class SparseSynapses:
@@ -96,6 +135,10 @@ class SparseSynapses:
     @property
     def num_synapses(self) -> int:
         return int(self.matrix.nnz)
+
+    def quantized_q15_16(self) -> Tuple[np.ndarray, bool]:
+        """Raw Q15.16 payloads of ``matrix.data`` plus the lossless flag."""
+        return quantize_weights_q15_16(self.matrix.data)
 
     def propagate(self, fired: np.ndarray) -> np.ndarray:
         """Synaptic current delivered by the firing presynaptic neurons."""

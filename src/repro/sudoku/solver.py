@@ -208,14 +208,16 @@ class SNNSudokuSolver:
 
         All puzzle networks are stacked into one exact-mode
         :class:`~repro.runtime.batch.BatchedNetwork` (they share the WTA
-        connectivity and differ only in drive and noise), so every 1 ms
-        step advances the whole batch in fused ``(B, 729)`` updates while
-        each result stays bit-identical to a sequential :meth:`solve` call
-        on the same puzzle — including the per-puzzle noise streams,
+        connectivity and differ only in drive and noise): the inhibitory
+        weights are exact Q15.16 values, so every 1 ms step propagates
+        spikes for the whole batch through the integer CSR kernel and
+        draws all noise from one compiled ``(B, 729)`` provider, while
+        each result stays bit-identical to a sequential :meth:`solve`
+        call on the same puzzle — including the per-puzzle noise streams,
         decode windows and step counts.  Replicas that solve early are
-        frozen (their result recorded) while the rest of the batch keeps
-        running; the run stops as soon as every replica has solved or
-        ``max_steps`` is reached.
+        dropped from the live batch (their result recorded) while the
+        rest keeps running; the run stops as soon as every replica has
+        solved or ``max_steps`` is reached.
         """
         for puzzle in puzzles:
             if not puzzle.is_valid():

@@ -165,10 +165,26 @@ class TestClampsAndSolutions:
         assert resolved == graph.resolve_clamps(resolved)
         assert [(vi, value) for vi, value, _ in resolved] == [(0, 1), (2, 2)]
 
+    def test_resolved_output_takes_the_fast_path(self):
+        graph = self._graph()
+        resolved = graph.resolve_clamps({"a": 1, "c": 2})
+        # The method's own (validated) output is returned as-is.
+        assert graph.resolve_clamps(resolved) is resolved
+
     def test_conflicting_double_clamp_rejected(self):
         graph = self._graph()
         with pytest.raises(ValueError):
             graph.resolve_clamps([("a", 1), ("a", 2)])
+
+    def test_plain_triple_lists_are_still_validated(self):
+        # A hand-built list of 3-tuples must not ride the resolved-output
+        # shortcut: conflicting duplicates are rejected and name refs
+        # plus stale neuron indices are re-resolved, exactly as pre-PR.
+        graph = self._graph()
+        with pytest.raises(ValueError):
+            graph.resolve_clamps([(0, 2, 1), (0, 1, 0)])
+        resolved = graph.resolve_clamps([("a", 1, 999)])
+        assert resolved == [(0, 1, graph.neuron_index("a", 1))]
 
     def test_clamps_consistency(self):
         graph = self._graph()

@@ -2,8 +2,10 @@
 """Benchmark regression gate: compare emitted BENCH_*.json to the baseline.
 
 The benchmark suite emits machine-readable result files
-(``benchmarks/BENCH_iss.json`` from ``benchmarks/bench_iss_throughput.py``
-and ``benchmarks/BENCH_csp.json`` from ``benchmarks/bench_csp_solver.py``);
+(``benchmarks/BENCH_iss.json`` from ``benchmarks/bench_iss_throughput.py``,
+``benchmarks/BENCH_csp.json`` from ``benchmarks/bench_csp_solver.py`` and
+``benchmarks/BENCH_batched.json`` from
+``benchmarks/bench_batched_runtime.py``);
 this tool compares them against the committed baselines in
 ``benchmarks/baselines/`` and fails when a tracked higher-is-better
 metric dropped by more than the allowed fraction (default 30%).
@@ -33,10 +35,11 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Tracked result files: name -> comparison strategy ("iss" | "csp").
+#: Tracked result files: name -> comparison strategy ("iss" | "csp" | "batched").
 BENCH_FILES = {
     "BENCH_iss.json": "iss",
     "BENCH_csp.json": "csp",
+    "BENCH_batched.json": "batched",
 }
 
 
@@ -106,6 +109,30 @@ def compare_csp(baseline: dict, current: dict, cmp: Comparator) -> None:
         )
 
 
+def compare_batched(baseline: dict, current: dict, cmp: Comparator) -> None:
+    """Batched-runtime file: one record per exact-mode solve workload."""
+    for workload, base in sorted(baseline.items()):
+        cur = current.get(workload)
+        if cur is None:
+            cmp.skip(f"BENCH_batched[{workload}]: missing from current run; skipping")
+            continue
+        config_keys = ("batch", "num_neurons", "max_steps", "check_interval")
+        if any(base.get(k) != cur.get(k) for k in config_keys):
+            cmp.skip(
+                f"BENCH_batched[{workload}]: run configuration differs from baseline; "
+                "skipping comparison"
+            )
+            continue
+        label = f"BENCH_batched[{workload}]"
+        cmp.check(label, "speedup", base.get("speedup", 0), cur.get("speedup", 0))
+        cmp.check(
+            label,
+            "solves_per_second",
+            base.get("solves_per_second", 0),
+            cur.get("solves_per_second", 0),
+        )
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -140,6 +167,8 @@ def main(argv) -> int:
         baseline, current = _load(baseline_path), _load(current_path)
         if kind == "iss":
             compare_iss(baseline, current, cmp)
+        elif kind == "batched":
+            compare_batched(baseline, current, cmp)
         else:
             compare_csp(baseline, current, cmp)
 
