@@ -14,6 +14,11 @@ reusable constraint-satisfaction engine (see ``docs/CSP.md``):
     sliding-window decoder; ``solve`` / ``solve_batch`` /
     :func:`solve_instances` run on the exact-mode batched runtime with
     early freezing of solved replicas.
+:mod:`repro.csp.portfolio`
+    :func:`solve_instances_portfolio` — adaptive restart portfolios:
+    freed batch slots are refilled with fresh-seed restart attempts on a
+    Luby (or geometric) budget schedule, keeping the fused engine
+    saturated on hard instance pools.
 :mod:`repro.csp.scenarios`
     Deterministic instance generators: Sudoku, graph k-coloring,
     N-queens and Latin-square completion.
@@ -24,6 +29,7 @@ subsystem and stays bit-identical to its pre-refactor behaviour.
 
 from .config import CSPConfig
 from .graph import ConstraintGraph, CSPStatistics, Variable
+from .portfolio import PortfolioConfig, derive_attempt_seed, luby, solve_instances_portfolio
 from .solver import CSPSolveResult, SpikingCSPSolver, decode_assignment, solve_instances
 from .scenarios import available_scenarios, make_instance
 
@@ -34,6 +40,10 @@ __all__ = [
     "Variable",
     "CSPSolveResult",
     "SpikingCSPSolver",
+    "PortfolioConfig",
+    "derive_attempt_seed",
+    "luby",
+    "solve_instances_portfolio",
     "decode_assignment",
     "solve_instances",
     "available_scenarios",

@@ -1,0 +1,485 @@
+"""Adaptive restart portfolios for the spiking constraint solver.
+
+The annealed WTA search (paper §VI-C) is a Las-Vegas algorithm: whether
+an instance solves within a step budget depends heavily on the noise
+stream, and the runtime distribution is heavy-tailed — a hard instance
+can stall for the whole budget under one seed yet fall in a few hundred
+steps under another.  Fixed-seed :func:`~repro.csp.solver.solve_instances`
+pays that tail twice: the stalled replica burns its entire budget, and
+the batch capacity freed by early solvers (:meth:`BatchedNetwork.retain`)
+sits idle.
+
+:func:`solve_instances_portfolio` keeps the fused batch saturated
+instead.  All instances start as one exact-mode batch, and whenever
+replicas finish — solved, or out of their per-attempt step budget — the
+freed slots are refilled with *restart attempts* of still-unsolved
+instances: fresh ``SeedSequence``-derived noise seeds, step budgets from
+a Luby (or geometric) schedule, and optionally diversified anneal
+configurations.  Several attempts of one instance may race; the first
+solution wins and the rest are dropped at the next check point.
+
+Determinism and exactness:
+
+* every attempt is **bit-identical** to a standalone
+  ``SpikingCSPSolver(graph, cfg, seed=attempt_seed).solve(clamps,
+  max_steps=budget)`` run — attempts keep their own *local* step counter
+  (driving the anneal phase, sliding-window decode and recency
+  bookkeeping), so stacking an attempt into a half-finished batch cannot
+  change its trajectory;
+* attempt seeds derive from ``(portfolio seed, instance index, attempt
+  index)`` through ``SeedSequence`` spawn keys, so the schedule is
+  reproducible regardless of which slot an attempt lands in;
+* with restarts disabled the engine runs exactly one full-budget attempt
+  per instance and is bit-identical to ``solve_instances``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import CSPConfig
+from .graph import ClampsLike, ConstraintGraph
+from .solver import CSPSolveResult, SpikingCSPSolver, _empty_result, decode_assignment
+
+__all__ = [
+    "PortfolioConfig",
+    "derive_attempt_seed",
+    "luby",
+    "solve_instances_portfolio",
+]
+
+#: Config fields an anneal variant may override: drive-level parameters
+#: only, so every attempt shares the batch's connectivity, population
+#: configuration and decode window.
+_VARIANT_FIELDS = frozenset({"noise_sigma", "anneal_period", "anneal_floor"})
+
+
+def luby(index: int) -> int:
+    """The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, ... (1-based index).
+
+    The universal strategy of Luby, Sinclair and Zuckerman: restarts
+    scheduled by this sequence are within a logarithmic factor of the
+    optimal (unknown) fixed cutoff for any Las-Vegas runtime
+    distribution.
+    """
+    if index < 1:
+        raise ValueError("luby index is 1-based")
+    k = index.bit_length()
+    while True:
+        if index == (1 << k) - 1:
+            return 1 << (k - 1)
+        if index < (1 << k) - 1:
+            k -= 1
+            index -= (1 << k) - 1
+            k = index.bit_length()
+        else:  # pragma: no cover - unreachable (k = bit_length bound)
+            k += 1
+
+
+def derive_attempt_seed(portfolio_seed: int, instance: int, attempt: int) -> int:
+    """Deterministic, well-mixed noise seed for one portfolio attempt.
+
+    Spawns ``SeedSequence(portfolio_seed, spawn_key=(instance, attempt))``
+    — the same scheme as :func:`repro.runtime.sweep.derive_task_seed`,
+    keyed by both coordinates so neighbouring attempts and instances get
+    statistically independent streams.
+    """
+    sequence = np.random.SeedSequence(int(portfolio_seed), spawn_key=(int(instance), int(attempt)))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+@dataclass(frozen=True)
+class PortfolioConfig:
+    """Restart schedule and diversification policy of a solve portfolio."""
+
+    #: ``"luby"`` (default), ``"geometric"`` or ``"fixed"`` per-attempt
+    #: step budgets: ``base_budget * luby(k)``, ``base_budget *
+    #: growth**(k-1)`` or ``base_budget`` for attempt ``k``.
+    schedule: str = "luby"
+    #: Steps allotted to a first attempt (the schedule's unit).
+    base_budget: int = 400
+    #: Growth factor of the geometric schedule.
+    growth: float = 2.0
+    #: Maximum attempts per instance (0 = unbounded within the run's
+    #: global step budget).
+    max_attempts: int = 0
+    #: Maximum *concurrent* attempts per instance (0 = unbounded — freed
+    #: slots always refill while any instance is unsolved).
+    max_parallel: int = 2
+    #: Root seed of the attempt-seed derivation (see
+    #: :func:`derive_attempt_seed`).
+    seed: int = 0
+    #: Optional drive-parameter overrides cycled over restart attempts:
+    #: attempt 1 always runs the base config; attempt ``k >= 2`` applies
+    #: ``anneal_variants[(k - 2) % len]`` (each a mapping over
+    #: ``noise_sigma`` / ``anneal_period`` / ``anneal_floor``).
+    anneal_variants: Tuple[Mapping[str, float], ...] = ()
+    #: ``False`` runs exactly one full-budget attempt per instance —
+    #: bit-identical to :func:`repro.csp.solver.solve_instances`.
+    restarts: bool = True
+
+    def __post_init__(self) -> None:
+        if self.schedule not in ("luby", "geometric", "fixed"):
+            raise ValueError(f"unknown restart schedule {self.schedule!r}")
+        if self.base_budget < 1:
+            raise ValueError("base_budget must be positive")
+        if self.schedule == "geometric" and self.growth < 1.0:
+            raise ValueError("geometric growth must be >= 1")
+        for variant in self.anneal_variants:
+            unknown = set(variant) - _VARIANT_FIELDS
+            if unknown:
+                raise ValueError(
+                    f"anneal variants may only override {sorted(_VARIANT_FIELDS)}; "
+                    f"got {sorted(unknown)}"
+                )
+
+    def attempt_budget(self, attempt: int) -> int:
+        """Step budget of the ``attempt``-th (1-based) attempt."""
+        if self.schedule == "luby":
+            return self.base_budget * luby(attempt)
+        if self.schedule == "geometric":
+            return int(round(self.base_budget * self.growth ** (attempt - 1)))
+        return self.base_budget
+
+    def attempt_config(self, base: CSPConfig, attempt: int) -> CSPConfig:
+        """The (possibly diversified) solver config of one attempt."""
+        if attempt < 2 or not self.anneal_variants:
+            return base
+        variant = self.anneal_variants[(attempt - 2) % len(self.anneal_variants)]
+        return base.with_updates(**dict(variant))
+
+
+@dataclass
+class _Attempt:
+    """One live batch row: an attempt of one instance."""
+
+    instance: int
+    attempt: int  # 1-based per-instance attempt index
+    budget: int  # local step budget
+    offset: int  # global steps completed when the attempt started
+
+
+@dataclass
+class _InstanceState:
+    """Per-instance scheduling and accounting state."""
+
+    graph: ConstraintGraph
+    clamps: list
+    solved: bool = False
+    launched: int = 0
+    live: int = 0
+    attempt_steps: List[int] = field(default_factory=list)
+    total_spikes: int = 0
+    #: Winning (or, unsolved, most recent) decode snapshot.
+    steps: int = 0
+    values: Optional[np.ndarray] = None
+    decided: Optional[np.ndarray] = None
+
+
+def solve_instances_portfolio(
+    instances: Sequence[Tuple[ConstraintGraph, ClampsLike]],
+    *,
+    config: Optional[CSPConfig] = None,
+    portfolio: Optional[PortfolioConfig] = None,
+    backend: str = "fixed",
+    seeds: Optional[Sequence[int]] = None,
+    max_steps: int = 3000,
+    check_interval: int = 10,
+    slots: Optional[int] = None,
+) -> List[CSPSolveResult]:
+    """Solve instances with an adaptive restart portfolio on one batch.
+
+    The drop-in counterpart of :func:`repro.csp.solver.solve_instances`
+    with restart refilling: the global step budget ``max_steps`` bounds
+    the run's wall clock (every live replica advances once per global
+    step), while each attempt is additionally bounded by its schedule
+    budget.  See the module docstring for the scheduling policy.
+
+    Parameters
+    ----------
+    instances:
+        ``(graph, clamps)`` pairs; all graphs must share one neuron count.
+    config / portfolio:
+        Solver weights (:class:`CSPConfig`) and restart policy
+        (:class:`PortfolioConfig`).
+    seeds:
+        Optional explicit noise seeds of each instance's *first* attempt
+        (restart attempts always derive theirs from the portfolio seed).
+        With ``portfolio.restarts`` false this makes the run bit-identical
+        to ``solve_instances(instances, seeds=seeds, ...)``.
+    max_steps:
+        Global step budget shared by the whole batch.
+    slots:
+        Number of parallel batch rows to keep saturated (default: one per
+        instance).
+
+    Returns
+    -------
+    One :class:`CSPSolveResult` per instance, in order, with
+    ``attempts`` / ``attempt_steps`` / ``neuron_updates`` accounting for
+    every attempt launched for that instance.
+    """
+    if not instances:
+        return []
+    cfg = config if config is not None else CSPConfig()
+    pcfg = portfolio if portfolio is not None else PortfolioConfig()
+    if seeds is not None and len(seeds) != len(instances):
+        raise ValueError("seeds must match the number of instances")
+    sizes = {graph.num_neurons for graph, _ in instances}
+    if len(sizes) != 1:
+        raise ValueError(f"instances have differing neuron counts: {sorted(sizes)}")
+    num_neurons = next(iter(sizes))
+    num_slots = len(instances) if slots is None else max(1, int(slots))
+
+    states: List[_InstanceState] = []
+    for graph, clamps in instances:
+        resolved = graph.resolve_clamps(clamps)
+        if not graph.clamps_consistent(resolved):
+            raise ValueError("clamps violate a constraint edge")
+        states.append(_InstanceState(graph=graph, clamps=resolved))
+    if max_steps <= 0:
+        return [_empty_result(state.graph, state.clamps) for state in states]
+
+    # Instances sharing one graph object share one synapse build so the
+    # batch engine keeps its shared-matrix fast path across refills.
+    shared_synapses: Dict[int, object] = {}
+
+    def build_attempt(instance: int, global_step: int) -> Tuple[_Attempt, object]:
+        """A fresh attempt network for ``instance``, starting after ``global_step``."""
+        state = states[instance]
+        state.launched += 1
+        attempt_index = state.launched
+        if attempt_index == 1 and seeds is not None:
+            attempt_seed = int(seeds[instance])
+        else:
+            attempt_seed = derive_attempt_seed(pcfg.seed, instance, attempt_index)
+        if pcfg.restarts:
+            budget = min(pcfg.attempt_budget(attempt_index), max_steps)
+        else:
+            budget = max_steps
+        attempt_cfg = pcfg.attempt_config(cfg, attempt_index)
+        solver = SpikingCSPSolver(
+            state.graph,
+            attempt_cfg,
+            backend=backend,
+            seed=attempt_seed,
+            synapses=shared_synapses.get(id(state.graph)),
+        )
+        shared_synapses[id(state.graph)] = solver.synapses
+        network = solver.build_network(state.clamps)
+        # Stamp the attempt's start offset into the drive spec so the
+        # batched provider replays the standalone anneal phase sequence.
+        network.external_input.drive_spec.step_offset = global_step
+        state.live += 1
+        attempt = _Attempt(
+            instance=instance, attempt=attempt_index, budget=budget, offset=global_step
+        )
+        return attempt, network
+
+    def eligible(instance: int) -> bool:
+        state = states[instance]
+        if state.solved:
+            return False
+        if pcfg.max_attempts and state.launched >= pcfg.max_attempts:
+            return False
+        if pcfg.max_parallel and state.live >= pcfg.max_parallel:
+            return False
+        return True
+
+    def pick_refills(count: int, global_step: int) -> List[Tuple[_Attempt, object]]:
+        """Launch up to ``count`` attempts for unsolved instances.
+
+        Round-robin by launched-attempt count (fewest first, ties by
+        instance index) — deterministic, and it spreads the freed
+        capacity over the whole unsolved pool before racing extra
+        attempts on any one instance.  With restarts disabled only
+        *first* attempts are dispatched (instances beyond the initial
+        wave still get their one attempt when a slot frees up; a late
+        wave sees whatever global steps remain).
+        """
+        if global_step >= max_steps:
+            return []
+        launched: List[Tuple[_Attempt, object]] = []
+        while len(launched) < count:
+            candidates = [
+                i
+                for i in range(len(states))
+                if eligible(i) and (pcfg.restarts or states[i].launched == 0)
+            ]
+            if not candidates:
+                break
+            chosen = min(candidates, key=lambda i: (states[i].launched, i))
+            launched.append(build_attempt(chosen, global_step))
+        return launched
+
+    # ------------------------------------------------------------------ #
+    # Initial wave: attempt 1 of the first `num_slots` instances, then
+    # restart refills if slots remain.
+    # ------------------------------------------------------------------ #
+    rows: List[_Attempt] = []
+    networks: List[object] = []
+    for instance in range(min(num_slots, len(states))):
+        attempt, network = build_attempt(instance, 0)
+        rows.append(attempt)
+        networks.append(network)
+    for attempt, network in pick_refills(num_slots - len(rows), 0):
+        rows.append(attempt)
+        networks.append(network)
+
+    from ..runtime.batch import BatchedNetwork
+    from ..runtime.drives import PortfolioAnnealedDrive
+
+    def fresh_batch(nets: Sequence[object]) -> BatchedNetwork:
+        return BatchedNetwork.from_networks(
+            nets,
+            synapse_mode="exact",
+            batched_external=PortfolioAnnealedDrive(
+                [net.external_input.drive_spec for net in nets]
+            ),
+        )
+
+    substeps = getattr(networks[0].population, "substeps_per_ms", 1)
+    updates_per_step = num_neurons * substeps
+    window = max(1, cfg.decode_window)
+    batch = fresh_batch(networks)
+
+    num_rows = len(rows)
+    history = np.zeros((window, num_rows, num_neurons), dtype=bool)
+    window_counts = np.zeros((num_rows, num_neurons), dtype=np.int64)
+    last_spike = np.full((num_rows, num_neurons), -1, dtype=np.int64)
+    row_spikes = np.zeros(num_rows, dtype=np.int64)
+    offsets = np.asarray([a.offset for a in rows], dtype=np.int64)
+    budgets = np.asarray([a.budget for a in rows], dtype=np.int64)
+
+    def finish_attempt(row: int, local_steps: int) -> None:
+        """Book a finished attempt's work into its instance state."""
+        attempt = rows[row]
+        state = states[attempt.instance]
+        state.live -= 1
+        state.attempt_steps.append(int(local_steps))
+        state.total_spikes += int(row_spikes[row])
+
+    def snapshot(row: int, local_steps: int, values: np.ndarray, decided: np.ndarray) -> None:
+        state = states[rows[row].instance]
+        state.steps = int(local_steps)
+        state.values, state.decided = values, decided
+
+    global_step = 0
+    unsolved = len(states)
+    row_index = np.arange(num_rows, dtype=np.int64)
+    while rows and global_step < max_steps and unsolved:
+        global_step += 1
+        fired = batch.step(global_step)
+        local = global_step - offsets  # per-row local step (1-based)
+        slot = local % window
+        window_counts -= history[slot, row_index]
+        history[slot, row_index] = fired
+        window_counts += fired
+        if fired.any():
+            fr, fc = np.nonzero(fired)
+            last_spike[fr, fc] = local[fr]
+            row_spikes += fired.sum(axis=1)
+
+        at_budget = local >= budgets
+        at_check = (local % check_interval == 0) | at_budget
+        if not (at_check.any() or global_step == max_steps):
+            continue
+
+        # ---- check point: decode, drop, refill ------------------------ #
+        keep: List[int] = []
+        for row, attempt in enumerate(rows):
+            state = states[attempt.instance]
+            if state.solved:
+                # Raced attempt of an instance another row already solved.
+                finish_attempt(row, int(local[row]))
+                continue
+            if not at_check[row]:
+                keep.append(row)
+                continue
+            values, decided = decode_assignment(
+                state.graph, window_counts[row], last_spike[row], state.clamps
+            )
+            if state.graph.is_solution(values, decided):
+                state.solved = True
+                unsolved -= 1
+                snapshot(row, int(local[row]), values, decided)
+                finish_attempt(row, int(local[row]))
+            elif at_budget[row]:
+                snapshot(row, int(local[row]), values, decided)
+                finish_attempt(row, int(local[row]))
+            else:
+                keep.append(row)
+        refills = (
+            pick_refills(num_slots - len(keep), global_step)
+            if unsolved and global_step < max_steps
+            else []
+        )
+        if len(keep) == len(rows) and not refills:
+            continue
+
+        # ---- apply the new batch composition -------------------------- #
+        new_rows = [rows[row] for row in keep] + [attempt for attempt, _ in refills]
+        new_nets = [network for _, network in refills]
+        if not new_rows:
+            rows = []
+            break
+        if keep:
+            if len(keep) < len(rows):
+                batch.retain(keep)
+            if new_nets:
+                batch.extend(new_nets)
+        else:
+            batch = fresh_batch(new_nets)
+        rows = new_rows
+        num_rows = len(rows)
+        pad = (len(refills), num_neurons)
+        history = np.concatenate([history[:, keep], np.zeros((window,) + pad, dtype=bool)], axis=1)
+        window_counts = np.concatenate([window_counts[keep], np.zeros(pad, dtype=np.int64)])
+        last_spike = np.concatenate([last_spike[keep], np.full(pad, -1, dtype=np.int64)])
+        row_spikes = np.concatenate([row_spikes[keep], np.zeros(len(refills), dtype=np.int64)])
+        offsets = np.asarray([a.offset for a in rows], dtype=np.int64)
+        budgets = np.asarray([a.budget for a in rows], dtype=np.int64)
+        row_index = np.arange(num_rows, dtype=np.int64)
+
+    # Trailing decode for attempts still live at the global budget,
+    # mirroring the batch loop's final decode.
+    for row, attempt in enumerate(rows):
+        state = states[attempt.instance]
+        local_steps = int(global_step - attempt.offset)
+        if not state.solved:
+            values, decided = decode_assignment(
+                state.graph, window_counts[row], last_spike[row], state.clamps
+            )
+            if state.graph.is_solution(values, decided):
+                state.solved = True
+                unsolved -= 1
+            snapshot(row, local_steps, values, decided)
+        finish_attempt(row, local_steps)
+
+    results = []
+    for state in states:
+        if state.values is None:
+            # Never decoded (zero slots or zero budget): empty decode.
+            state.values, state.decided = decode_assignment(
+                state.graph,
+                np.zeros(state.graph.num_neurons, dtype=np.int64),
+                np.full(state.graph.num_neurons, -1, dtype=np.int64),
+                state.clamps,
+            )
+            state.solved = state.graph.is_solution(state.values, state.decided)
+        results.append(
+            CSPSolveResult(
+                solved=state.solved,
+                steps=state.steps,
+                values=state.values,
+                decided=state.decided,
+                total_spikes=state.total_spikes,
+                neuron_updates=sum(state.attempt_steps) * updates_per_step,
+                attempts=state.launched,
+                attempt_steps=tuple(state.attempt_steps),
+            )
+        )
+    return results

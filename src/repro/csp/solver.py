@@ -47,7 +47,15 @@ __all__ = ["CSPSolveResult", "SpikingCSPSolver", "decode_assignment", "solve_ins
 
 @dataclass
 class CSPSolveResult:
-    """Outcome of one spiking constraint-solver run."""
+    """Outcome of one spiking constraint-solver run.
+
+    A plain ``solve`` is a single attempt; the restart-portfolio engine
+    (:mod:`repro.csp.portfolio`) may launch several attempts per instance
+    under fresh noise seeds, in which case ``steps`` / ``values`` /
+    ``decided`` describe the *winning* (or, unsolved, the last) attempt
+    while ``total_spikes`` / ``neuron_updates`` / ``attempt_steps``
+    account for the work of every attempt.
+    """
 
     solved: bool
     steps: int
@@ -55,10 +63,17 @@ class CSPSolveResult:
     values: np.ndarray
     #: Per-variable flag: ``True`` where ``values`` holds a real assignment.
     decided: np.ndarray
-    #: Total number of spikes emitted during the run.
+    #: Total number of spikes emitted during the run (all attempts).
     total_spikes: int
-    #: Number of neuron updates performed (neurons x sub-steps x steps).
+    #: Number of neuron updates performed (neurons x sub-steps x steps,
+    #: summed over all attempts).
     neuron_updates: int
+    #: Number of solve attempts launched for this instance.
+    attempts: int = 1
+    #: Steps consumed by each attempt, launch order (winning or truncated
+    #: attempts included); ``sum(attempt_steps) == steps`` for a
+    #: single-attempt run.
+    attempt_steps: Tuple[int, ...] = ()
 
     def assignment(self, graph: ConstraintGraph) -> Dict[str, int]:
         """Decided ``{variable name: value}`` entries."""
@@ -283,13 +298,23 @@ def solve_instances(
     Unlike :meth:`SpikingCSPSolver.solve_batch`, the graphs may differ
     between instances (e.g. independently generated coloring instances)
     as long as every graph has the same neuron count.  ``seeds`` gives a
-    per-instance noise seed (default: ``seed`` for all).
+    per-instance noise seed.  By default each instance receives an
+    *independent* seed spawned from ``seed`` through
+    ``numpy.random.SeedSequence`` (the :func:`repro.runtime.sweep.derive_task_seed`
+    scheme): historically the default was ``[seed] * len(instances)``,
+    which gave every replica the *same* noise stream, so identical
+    instances produced identical trajectories and solve-rate sweeps
+    measured one sample instead of ``B``.  Pass ``seeds=`` explicitly to
+    reproduce old runs (explicit seeds are honoured bit-for-bit,
+    including a shared value for every replica).
     """
     if not instances:
         return []
     cfg = config if config is not None else CSPConfig()
     if seeds is None:
-        seeds = [seed] * len(instances)
+        from ..runtime.sweep import derive_task_seed
+
+        seeds = [derive_task_seed(seed, i) for i in range(len(instances))]
     if len(seeds) != len(instances):
         raise ValueError("seeds must match the number of instances")
     sizes = {graph.num_neurons for graph, _ in instances}
@@ -356,8 +381,15 @@ def _run_batch(
     from ..runtime.batch import BatchedNetwork
     from ..runtime.drives import compile_batched_external
 
+    # Guard the degenerate shapes before any batch state is allocated: an
+    # empty entry list has nothing to stack, and a non-positive step
+    # budget would previously fall through the loop and decode an
+    # all-zero window (equivalent to, but far more expensive than, the
+    # explicit empty decode below).
     if not entries:
         return []
+    if max_steps <= 0:
+        return [_empty_result(entry.graph, entry.clamps) for entry in entries]
     num = len(entries)
     num_neurons = entries[0].graph.num_neurons
     networks = [entry.network for entry in entries]
@@ -435,6 +467,35 @@ def _run_batch(
             decided=decided[b],
             total_spikes=int(total_spikes[b]),
             neuron_updates=int(final_steps[b]) * num_neurons * substeps,
+            attempts=1,
+            attempt_steps=(int(final_steps[b]),),
         )
         for b in range(num)
     ]
+
+
+def _empty_result(graph: ConstraintGraph, clamps: ClampsLike) -> CSPSolveResult:
+    """The zero-step result: decode of an empty window (clamps only).
+
+    Bit-identical to what the batch loop produces when the step budget is
+    exhausted before the first step — all-zero spike counts, so only
+    clamped variables decode (and a fully clamped consistent instance
+    counts as solved).
+    """
+    num_neurons = graph.num_neurons
+    values, decided = decode_assignment(
+        graph,
+        np.zeros(num_neurons, dtype=np.int64),
+        np.full(num_neurons, -1, dtype=np.int64),
+        clamps,
+    )
+    return CSPSolveResult(
+        solved=graph.is_solution(values, decided),
+        steps=0,
+        values=values,
+        decided=decided,
+        total_spikes=0,
+        neuron_updates=0,
+        attempts=1,
+        attempt_steps=(0,),
+    )

@@ -3,6 +3,7 @@
 from . import paper_data
 from .experiments import (
     CycleExperimentResult,
+    csp_portfolio_solve_rate,
     csp_solve_rate,
     eighty_twenty_seed_sweep,
     fig2_raster,
@@ -24,6 +25,7 @@ from .reporting import format_comparison, format_kv, format_table
 __all__ = [
     "paper_data",
     "CycleExperimentResult",
+    "csp_portfolio_solve_rate",
     "csp_solve_rate",
     "eighty_twenty_seed_sweep",
     "fig2_raster",

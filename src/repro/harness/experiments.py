@@ -64,6 +64,7 @@ __all__ = [
     "softfloat_speedup",
     "sudoku_solve_rate",
     "csp_solve_rate",
+    "csp_portfolio_solve_rate",
     "eighty_twenty_seed_sweep",
 ]
 
@@ -527,3 +528,78 @@ def csp_solve_rate(
         "mean_steps": float(np.mean([r.steps for r in results])) if results else 0.0,
         "results": results,
     }
+
+
+def csp_portfolio_solve_rate(
+    *,
+    scenario: str = "coloring",
+    count: int = 8,
+    max_steps: int = 2000,
+    check_interval: int = 10,
+    seed: int = 0,
+    backend: str = "fixed",
+    portfolio=None,
+    config=None,
+    scenario_params: Optional[Dict[str, object]] = None,
+    compare_fixed: bool = True,
+) -> Dict[str, object]:
+    """Restart-portfolio solve-rate experiment on one hard instance pool.
+
+    Runs :func:`repro.csp.portfolio.solve_instances_portfolio` over
+    ``count`` deterministic instances (generated from ``seed + index``)
+    and, with ``compare_fixed`` (default), the fixed-seed
+    :func:`repro.csp.solver.solve_instances` baseline over the *same*
+    pool at the *same* global step budget — the restart portfolio's
+    contractual claim is a solve rate at least as high for measurably
+    fewer total neuron updates, which
+    ``benchmarks/bench_csp_solver.py`` gates.
+
+    Both engines draw their per-instance first-attempt seeds from the
+    same ``SeedSequence`` scheme, so the baseline is the exact engine the
+    portfolio layers restarts onto.
+    """
+    from ..csp import PortfolioConfig, make_instance
+    from ..csp.portfolio import solve_instances_portfolio
+    from ..csp.solver import solve_instances
+    from ..runtime.sweep import derive_task_seed
+
+    params = dict(scenario_params or {})
+    pcfg = portfolio if portfolio is not None else PortfolioConfig()
+    instances = [make_instance(scenario, seed=seed + i, **params) for i in range(count)]
+    seeds = [derive_task_seed(pcfg.seed, i) for i in range(count)]
+    portfolio_results = solve_instances_portfolio(
+        instances,
+        config=config,
+        portfolio=pcfg,
+        backend=backend,
+        seeds=seeds,
+        max_steps=max_steps,
+        check_interval=check_interval,
+    )
+    summary: Dict[str, object] = {
+        "scenario": scenario,
+        "num_instances": count,
+        "num_neurons": instances[0][0].num_neurons if instances else 0,
+        "max_steps": max_steps,
+        "solve_rate": (
+            sum(r.solved for r in portfolio_results) / count if count else 0.0
+        ),
+        "total_attempts": int(sum(r.attempts for r in portfolio_results)),
+        "neuron_updates": int(sum(r.neuron_updates for r in portfolio_results)),
+        "results": portfolio_results,
+    }
+    if compare_fixed:
+        fixed_results = solve_instances(
+            instances,
+            config=config,
+            backend=backend,
+            seeds=seeds,
+            max_steps=max_steps,
+            check_interval=check_interval,
+        )
+        summary["fixed_solve_rate"] = (
+            sum(r.solved for r in fixed_results) / count if count else 0.0
+        )
+        summary["fixed_neuron_updates"] = int(sum(r.neuron_updates for r in fixed_results))
+        summary["fixed_results"] = fixed_results
+    return summary

@@ -47,6 +47,7 @@ from .drives import (
     CompiledAnnealedDrive,
     CompiledDrive,
     CompiledScaledDrive,
+    PortfolioAnnealedDrive,
     ScaledNoiseSpec,
     compile_batched_external,
 )
@@ -55,6 +56,7 @@ from .workloads import (
     SeedSweepResult,
     batched_thalamic_provider,
     build_eighty_twenty_replicas,
+    csp_portfolio_sweep,
     eighty_twenty_seed_sweep,
     pooled_csp_sweep,
     pooled_sudoku_sweep,
@@ -79,6 +81,7 @@ __all__ = [
     "CompiledAnnealedDrive",
     "CompiledDrive",
     "CompiledScaledDrive",
+    "PortfolioAnnealedDrive",
     "ScaledNoiseSpec",
     "compile_batched_external",
     "SweepExecutor",
@@ -87,6 +90,7 @@ __all__ = [
     "SeedSweepResult",
     "batched_thalamic_provider",
     "build_eighty_twenty_replicas",
+    "csp_portfolio_sweep",
     "eighty_twenty_seed_sweep",
     "pooled_csp_sweep",
     "pooled_sudoku_sweep",

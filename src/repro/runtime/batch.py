@@ -216,6 +216,16 @@ class _FixedBatchKernel:
         self.d_q78 = self.d_q78[keep]
         self._alloc_scratch(self.a.shape)
 
+    def extend(
+        self, a_raw: np.ndarray, b_raw: np.ndarray, c_raw: np.ndarray, d_raw: np.ndarray
+    ) -> None:
+        """Append replica rows (raw parameter arrays, one row per replica)."""
+        self.a = np.concatenate([self.a, a_raw])
+        self.b = np.concatenate([self.b, b_raw])
+        self.c = np.concatenate([self.c, c_raw])
+        self.d_q78 = np.concatenate([self.d_q78, d_raw >> (11 - Q7_8.frac_bits)])
+        self._alloc_scratch(self.a.shape)
+
     def substep(self, v: np.ndarray, u: np.ndarray, isyn_raw: np.ndarray) -> np.ndarray:
         """Advance ``(v, u)`` in place by one NPU timestep; returns spikes."""
         v_acc, u_acc, dv, du = self._v_acc, self._u_acc, self._dv, self._du
@@ -520,6 +530,34 @@ class _SynapseBatch:
         # called at solver check intervals, not per step, so the rebuild
         # cost is amortised away; shared structures are replica-agnostic
         # and rebuild for free.
+        self._build(True if self.integer else False)
+
+    def validate_extend(self, synapses: Sequence[object]) -> None:
+        """Raise if :meth:`extend` would refuse — without mutating anything.
+
+        Checks the synapse kind and, when the integer kernel is live,
+        that every new weight set quantises losslessly (the kernel must
+        not silently fall back to float mid-run: the engine's current
+        bookkeeping depends on which path is active).
+        """
+        first = self._synapses[0] if self._synapses else None
+        for synapse in synapses:
+            if (synapse is None) != self._none or (
+                first is not None and type(synapse) is not type(first)
+            ):
+                raise BatchIncompatibleError("stacked-in synapse kind differs from the batch")
+            if self.integer:
+                raw, lossless = synapse.quantized_q15_16()
+                if not lossless:
+                    raise BatchIncompatibleError(
+                        "integer propagation requires weights exactly representable in Q15.16"
+                    )
+
+    def extend(self, synapses: Sequence[object]) -> None:
+        """Append replica synapse sets and rebuild the stacked structures."""
+        self.validate_extend(synapses)
+        self._synapses.extend(synapses)
+        self.batch_size = len(self._synapses)
         self._build(True if self.integer else False)
 
 
@@ -894,6 +932,114 @@ class BatchedNetwork:
         self._externals = [self._externals[i] for i in keep]
         if provider_retain is not None:
             provider_retain(keep)
+            self._ext_validated = False
+            self._validate_external_shape()
+
+    def extend(self, networks: Sequence[SNNNetwork]) -> None:
+        """Stack additional replicas into the live batch.
+
+        The inverse of :meth:`retain`: the given (typically freshly
+        built) networks are appended as new batch rows, state copied the
+        same way construction copies it, so each new replica's trajectory
+        is bit-identical to running it standalone from its current state.
+        Existing rows are untouched — appending rows cannot change their
+        fused updates (replicas are independent).
+
+        The networks must satisfy the same compatibility contract as
+        construction (size, population kind, current mode, timestep
+        configuration, synapse kind; integer-kernel batches additionally
+        require losslessly quantisable weights).  When a
+        ``batched_external`` provider is set it must support
+        ``extend(networks)`` — the portfolio drive of
+        :mod:`repro.runtime.drives` does; compiled drives without it
+        refuse.  The restart-portfolio engine uses this, together with
+        :meth:`retain`, to refill freed batch slots with restart attempts
+        mid-run.
+        """
+        if not networks:
+            return
+        networks = list(networks)
+        # Validate everything that can refuse BEFORE mutating any state,
+        # mirroring retain(), so a raise leaves the batch fully usable.
+        sizes = {net.size for net in networks}
+        if sizes != {self.size}:
+            raise BatchIncompatibleError(
+                f"stacked-in network sizes {sorted(sizes)} differ from batch size {self.size}"
+            )
+        if {net.is_fixed_point for net in networks} != {self.is_fixed_point}:
+            raise BatchIncompatibleError("cannot mix fixed-point and float64 populations")
+        if {(net.current_mode, net.tau_select) for net in networks} != {
+            (self.current_mode, self.tau_select)
+        }:
+            raise BatchIncompatibleError("stacked-in current modes differ from the batch")
+        pops = [net.population for net in networks]
+        if self.is_fixed_point:
+            if {p.h_shift for p in pops} != {self.h_shift} or {
+                p.pin_voltage for p in pops
+            } != {self._kernel.pin_voltage}:
+                raise BatchIncompatibleError("fixed-point timestep/pin configuration differs")
+        else:
+            if {p.v_substeps for p in pops} != {self._v_substeps}:
+                raise BatchIncompatibleError("float64 sub-step configuration differs")
+        provider_extend = None
+        if self._batched_external is not None:
+            provider_extend = getattr(self._batched_external, "extend", None)
+            if provider_extend is None:
+                raise BatchIncompatibleError(
+                    "batched external provider does not support extend(); "
+                    "use a portfolio drive (repro.runtime.drives) or per-replica providers"
+                )
+        self._synapses.validate_extend([net.synapses for net in networks])
+
+        raw_decay = self.is_fixed_point and self.current_mode == "decay" and self._use_raw_current
+        self._synapses.extend([net.synapses for net in networks])
+        self.networks.extend(networks)
+        self._externals.extend(net.external_input for net in networks)
+        self.batch_size = len(self.networks)
+        shape = (self.batch_size, self.size)
+
+        add_last_fired = np.stack([np.asarray(net._last_fired, dtype=bool) for net in networks])
+        add_current = np.stack(
+            [np.asarray(net.current_state.current, dtype=np.float64) for net in networks]
+        )
+        self._last_fired = np.concatenate([self._last_fired, add_last_fired])
+        self._current = np.concatenate([self._current, add_current])
+        self._fired = np.zeros(shape, dtype=bool)
+        self._ext = np.zeros(shape, dtype=np.float64)
+        self._fscratch = np.zeros(shape, dtype=np.float64)
+        self._fscratch2 = np.zeros(shape, dtype=np.float64)
+        self._iscratch = np.zeros(shape, dtype=np.int64)
+        self._iscratch2 = np.zeros(shape, dtype=np.int64)
+        self._v_scratch = None
+        add_isyn_raw = np.zeros(add_current.shape, dtype=np.int64)
+        if raw_decay:
+            # New rows join the raw-integer current feed exactly as
+            # construction seeds it: the quantised float current.
+            _quantize_q15_16(add_current, add_isyn_raw, np.empty_like(add_current))
+        self._isyn_raw = np.concatenate([self._isyn_raw, add_isyn_raw])
+
+        if self.is_fixed_point:
+            self.v_raw = np.concatenate(
+                [self.v_raw, np.stack([p.v_raw for p in pops]).astype(np.int64)]
+            )
+            self.u_raw = np.concatenate(
+                [self.u_raw, np.stack([p.u_raw for p in pops]).astype(np.int64)]
+            )
+            self._kernel.extend(
+                np.stack([p.a_raw for p in pops]).astype(np.int64),
+                np.stack([p.b_raw for p in pops]).astype(np.int64),
+                np.stack([p.c_raw for p in pops]).astype(np.int64),
+                np.stack([p.d_raw for p in pops]).astype(np.int64),
+            )
+        else:
+            self.v = np.concatenate([self.v, np.stack([p.v for p in pops]).astype(np.float64)])
+            self.u = np.concatenate([self.u, np.stack([p.u for p in pops]).astype(np.float64)])
+            self._params = tuple(
+                np.concatenate([cur, np.stack([getattr(p, name) for p in pops]).astype(np.float64)])
+                for cur, name in zip(self._params, ("a", "b", "c", "d"))
+            )
+        if provider_extend is not None:
+            provider_extend(networks)
             self._ext_validated = False
             self._validate_external_shape()
 

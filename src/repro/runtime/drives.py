@@ -52,6 +52,7 @@ __all__ = [
     "CompiledDrive",
     "CompiledAnnealedDrive",
     "CompiledScaledDrive",
+    "PortfolioAnnealedDrive",
     "compile_batched_external",
 ]
 
@@ -74,6 +75,13 @@ class AnnealedNoiseSpec:
     noise_sigma: float
     anneal_period: int
     anneal_floor: float
+    #: Global step count already completed when this replica's run starts.
+    #: The replica's *local* step — the one driving its anneal phase — is
+    #: ``step - step_offset``.  Always 0 for ordinary batches; the
+    #: restart-portfolio engine (:mod:`repro.csp.portfolio`) sets it so a
+    #: replica stacked in mid-run sees the same phase sequence a fresh
+    #: standalone solve would.
+    step_offset: int = 0
 
 
 @dataclass
@@ -120,6 +128,27 @@ class _ChunkedNormals:
         keep = list(keep)
         self._rngs = [self._rngs[i] for i in keep]
         self._buffer = np.ascontiguousarray(self._buffer[keep])
+
+    def extend(self, rngs: Sequence[np.random.Generator]) -> None:
+        """Append fresh per-replica streams, joining the chunk mid-flight.
+
+        Each appended stream stays bit-identical to successive per-step
+        draws from (a clone of) its generator: the new rows' remaining
+        slots of the current chunk are filled with the stream's *first*
+        draws, so the next :meth:`next_rows` calls consume them in order
+        and the next refill continues each stream where it left off.
+        """
+        if not rngs:
+            return
+        clones = [_clone_rng(rng) for rng in rngs]
+        num_values = self._buffer.shape[2]
+        add = np.empty((len(clones), self._chunk_steps, num_values), dtype=np.float64)
+        remaining = self._chunk_steps - self._row
+        if remaining > 0:
+            for b, rng in enumerate(clones):
+                rng.standard_normal(out=add[b, self._row :])
+        self._rngs.extend(clones)
+        self._buffer = np.concatenate([self._buffer, add])
 
 
 class CompiledDrive:
@@ -174,6 +203,110 @@ class CompiledAnnealedDrive(CompiledDrive):
         self._noise = np.empty_like(self._drives)
         self._out = np.empty_like(self._drives)
         self.batch_shape = self._drives.shape
+
+
+class PortfolioAnnealedDrive(CompiledDrive):
+    """Annealed-noise drives with per-replica anneal params and step offsets.
+
+    The restart-portfolio engine stacks attempts that *started at
+    different global steps* (and may run diversified anneal
+    configurations) into one live batch.  This provider generalises
+    :class:`CompiledAnnealedDrive` to per-row ``noise_sigma`` /
+    ``anneal_period`` / ``anneal_floor`` vectors plus a per-row
+    ``step_offset``: row ``b`` sees the amplitude a fresh standalone
+    solve would see at its local step ``step - offset_b``.  The per-row
+    amplitude arithmetic evaluates the exact closure expression
+    elementwise in float64, so every row stays bit-identical to its
+    sequential counterpart (and, with all offsets 0 and uniform params,
+    to :class:`CompiledAnnealedDrive`).
+
+    Unlike the compiled drives, this provider also supports
+    :meth:`extend`: freshly built replica networks (whose
+    ``external_input`` closures carry :class:`AnnealedNoiseSpec`, offset
+    included) are stacked onto the live rows, joining the pregenerated
+    noise chunk mid-flight.
+    """
+
+    def __init__(
+        self, specs: Sequence[AnnealedNoiseSpec], *, chunk_steps: int = DEFAULT_CHUNK_STEPS
+    ) -> None:
+        if not specs:
+            raise ValueError("cannot compile zero drives")
+        self._chunk_steps = chunk_steps
+        self._drives = np.stack([np.asarray(s.drive, dtype=np.float64) for s in specs])
+        self._masks = np.stack([np.asarray(s.free_mask, dtype=bool) for s in specs])
+        self._sigma = np.asarray([s.noise_sigma for s in specs], dtype=np.float64)
+        self._period = np.asarray([s.anneal_period for s in specs], dtype=np.int64)
+        self._floor = np.asarray([s.anneal_floor for s in specs], dtype=np.float64)
+        self._offsets = np.asarray([s.step_offset for s in specs], dtype=np.int64)
+        num_values = self._drives.shape[1]
+        self._normals = _ChunkedNormals([s.rng for s in specs], num_values, chunk_steps)
+        self._alloc()
+
+    def _alloc(self) -> None:
+        self._noise = np.empty_like(self._drives)
+        self._out = np.empty_like(self._drives)
+        self.batch_shape = self._drives.shape
+        # max(period, 1) of the closure, vectorised once per composition.
+        self._period_div = np.maximum(self._period, 1).astype(np.float64)
+
+    def __call__(self, step: int) -> np.ndarray:
+        # Per-row local phase; identical term order to the per-replica
+        # closure, evaluated elementwise (IEEE float64 either way).
+        local = step - self._offsets
+        phase = (local % self._period) / self._period_div
+        amplitude = self._sigma * (1.0 - (1.0 - self._floor) * phase)
+        normals = self._normals.next_rows()
+        np.multiply(normals, amplitude[:, None], out=self._noise)
+        self._noise *= self._masks
+        np.add(self._drives, self._noise, out=self._out)
+        return self._out
+
+    def retain(self, keep: Sequence[int]) -> None:
+        keep = list(keep)
+        self._drives = np.ascontiguousarray(self._drives[keep])
+        self._masks = np.ascontiguousarray(self._masks[keep])
+        self._sigma = self._sigma[keep]
+        self._period = self._period[keep]
+        self._floor = self._floor[keep]
+        self._offsets = self._offsets[keep]
+        self._normals.retain(keep)
+        self._alloc()
+
+    def extend(self, networks: Sequence[SNNNetwork]) -> None:
+        """Stack the (fresh) networks' annealed-noise specs onto the batch."""
+        if not networks:
+            return
+        specs = []
+        for network in networks:
+            spec = _spec_of(network)
+            if not isinstance(spec, AnnealedNoiseSpec):
+                raise ValueError(
+                    "portfolio drive can only stack in networks with an annealed-noise spec"
+                )
+            if np.asarray(spec.drive).shape != self._drives.shape[1:]:
+                raise ValueError("stacked-in drive width differs from the live batch")
+            specs.append(spec)
+        self._drives = np.concatenate(
+            [self._drives, np.stack([np.asarray(s.drive, dtype=np.float64) for s in specs])]
+        )
+        self._masks = np.concatenate(
+            [self._masks, np.stack([np.asarray(s.free_mask, dtype=bool) for s in specs])]
+        )
+        self._sigma = np.concatenate(
+            [self._sigma, np.asarray([s.noise_sigma for s in specs], dtype=np.float64)]
+        )
+        self._period = np.concatenate(
+            [self._period, np.asarray([s.anneal_period for s in specs], dtype=np.int64)]
+        )
+        self._floor = np.concatenate(
+            [self._floor, np.asarray([s.anneal_floor for s in specs], dtype=np.float64)]
+        )
+        self._offsets = np.concatenate(
+            [self._offsets, np.asarray([s.step_offset for s in specs], dtype=np.int64)]
+        )
+        self._normals.extend([s.rng for s in specs])
+        self._alloc()
 
 
 class CompiledScaledDrive(CompiledDrive):

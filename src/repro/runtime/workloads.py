@@ -29,12 +29,13 @@ from .batch import BatchedNetwork
 from .backends import RunRequest, RunResult, eighty_twenty_config, get_backend, run_on_backend
 from .cache import RunResultCache
 from .drives import compile_batched_external
-from .sweep import SweepExecutor, SweepTask
+from .sweep import SweepExecutor, SweepTask, derive_task_seed
 
 __all__ = [
     "SeedSweepResult",
     "build_eighty_twenty_replicas",
     "batched_thalamic_provider",
+    "csp_portfolio_sweep",
     "eighty_twenty_seed_sweep",
     "pooled_sudoku_sweep",
     "pooled_csp_sweep",
@@ -260,21 +261,29 @@ def pooled_sudoku_sweep(
     max_steps: int = 6000,
     check_interval: int = 10,
     solver_seed: int = 7,
+    mix_seeds: bool = True,
     executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, Any]:
     """Solve ``count`` generated puzzles, optionally over a process pool.
 
-    Each task derives its puzzle from ``base_seed + index`` (matching
-    :func:`repro.sudoku.puzzles.generate_puzzle_set`), so results are
-    deterministic and identical between serial and process execution.
-    ``solver_seed`` selects the solver's exploration-noise stream for
-    every task (it used to be hard-wired to the solver default, making
-    noise-seed sensitivity studies impossible through this entry point).
+    With ``mix_seeds`` (the default) each task derives its puzzle seed
+    from ``(base_seed, index)`` through :func:`~repro.runtime.sweep.derive_task_seed`
+    ``SeedSequence`` spawning — the well-mixed scheme
+    :mod:`repro.runtime.sweep` recommends.  ``mix_seeds=False`` restores
+    the legacy ``base_seed + index`` scheme (the correlated-seed pattern
+    the sweep module's docstring warns against, kept only to reproduce
+    historical tables; it also matches
+    :func:`repro.sudoku.puzzles.generate_puzzle_set`).  Either way
+    results are deterministic and identical between serial and process
+    execution.  ``solver_seed`` selects the solver's exploration-noise
+    stream for every task (it used to be hard-wired to the solver
+    default, making noise-seed sensitivity studies impossible through
+    this entry point).
     """
     executor = executor if executor is not None else SweepExecutor(mode="serial")
     param_sets = [
         {
-            "puzzle_seed": base_seed + i,
+            "puzzle_seed": derive_task_seed(base_seed, i) if mix_seeds else base_seed + i,
             "target_clues": target_clues,
             "max_steps": max_steps,
             "check_interval": check_interval,
@@ -369,5 +378,64 @@ def pooled_csp_sweep(
         "solved": solved,
         "solve_rate": solved / count if count else 0.0,
         "mean_steps": float(np.mean([r["steps"] for r in results])) if results else 0.0,
+        "results": results,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Restart-portfolio constraint-solver sweep (one saturated batch)
+# ---------------------------------------------------------------------- #
+def csp_portfolio_sweep(
+    scenario: str,
+    count: int,
+    *,
+    base_seed: int = 0,
+    portfolio=None,
+    config=None,
+    backend: str = "fixed",
+    max_steps: int = 3000,
+    check_interval: int = 10,
+    slots: Optional[int] = None,
+    scenario_params: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Solve ``count`` generated instances with a restart portfolio.
+
+    The batched counterpart of :func:`pooled_csp_sweep` for hard instance
+    pools: all instances advance as one exact-mode batch and freed batch
+    slots are refilled with restart attempts of still-unsolved instances
+    (:func:`repro.csp.portfolio.solve_instances_portfolio`), so the fused
+    engine stays saturated for the whole global step budget.  Instances
+    derive deterministically from ``base_seed + index`` through the
+    scenario generators, exactly as :func:`pooled_csp_sweep` does.
+
+    Returns the usual sweep summary plus portfolio accounting:
+    ``total_attempts`` and ``total_neuron_updates`` summed over every
+    attempt of every instance.
+    """
+    from ..csp.portfolio import solve_instances_portfolio
+    from ..csp.scenarios import make_instance
+
+    instances = [
+        make_instance(scenario, seed=base_seed + i, **dict(scenario_params or {}))
+        for i in range(count)
+    ]
+    results = solve_instances_portfolio(
+        instances,
+        config=config,
+        portfolio=portfolio,
+        backend=backend,
+        max_steps=max_steps,
+        check_interval=check_interval,
+        slots=slots,
+    )
+    solved = sum(1 for r in results if r.solved)
+    return {
+        "scenario": scenario,
+        "num_instances": count,
+        "solved": solved,
+        "solve_rate": solved / count if count else 0.0,
+        "mean_steps": float(np.mean([r.steps for r in results])) if results else 0.0,
+        "total_attempts": int(sum(r.attempts for r in results)),
+        "total_neuron_updates": int(sum(r.neuron_updates for r in results)),
         "results": results,
     }

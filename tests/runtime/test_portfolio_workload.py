@@ -1,0 +1,78 @@
+"""Workload/harness layers of the restart portfolio + seed-mixing fixes."""
+
+from repro.csp import PortfolioConfig
+from repro.harness import csp_portfolio_solve_rate
+from repro.runtime import csp_portfolio_sweep, derive_task_seed, pooled_sudoku_sweep
+
+
+class TestCSPPortfolioSweep:
+    def test_summary_shape_and_determinism(self):
+        kwargs = dict(
+            base_seed=0,
+            max_steps=500,
+            portfolio=PortfolioConfig(base_budget=60, seed=3),
+            scenario_params={"num_vertices": 10, "num_colors": 3, "edge_probability": 0.8},
+        )
+        a = csp_portfolio_sweep("coloring", 4, **kwargs)
+        b = csp_portfolio_sweep("coloring", 4, **kwargs)
+        assert a["num_instances"] == 4
+        assert 0.0 <= a["solve_rate"] <= 1.0
+        assert a["total_attempts"] >= 4
+        assert a["total_neuron_updates"] == sum(r.neuron_updates for r in a["results"])
+        assert (a["solved"], a["total_attempts"], a["total_neuron_updates"]) == (
+            b["solved"],
+            b["total_attempts"],
+            b["total_neuron_updates"],
+        )
+
+
+class TestCSPPortfolioSolveRate:
+    def test_compares_against_fixed_seed_baseline(self):
+        summary = csp_portfolio_solve_rate(
+            scenario="coloring",
+            count=6,
+            max_steps=800,
+            seed=100,
+            portfolio=PortfolioConfig(base_budget=80, seed=0),
+            scenario_params={"num_vertices": 12, "num_colors": 3, "edge_probability": 0.85},
+        )
+        assert summary["num_instances"] == 6
+        assert "fixed_solve_rate" in summary and "fixed_neuron_updates" in summary
+        assert len(summary["results"]) == len(summary["fixed_results"]) == 6
+        # Shared first-attempt seeds: any instance the fixed engine solves
+        # within the first attempt budget is solved identically.
+        for fixed, port in zip(summary["fixed_results"], summary["results"]):
+            if fixed.solved and fixed.steps <= 80:
+                assert port.solved and port.steps == fixed.steps
+
+    def test_compare_fixed_optional(self):
+        summary = csp_portfolio_solve_rate(
+            scenario="coloring",
+            count=2,
+            max_steps=200,
+            seed=0,
+            scenario_params={"num_vertices": 8, "num_colors": 3},
+            compare_fixed=False,
+        )
+        assert "fixed_solve_rate" not in summary
+
+
+class TestPooledSudokuSeedMixing:
+    def test_mix_seeds_default_uses_seed_sequence(self):
+        kwargs = dict(base_seed=1000, target_clues=40, max_steps=40)
+        mixed = pooled_sudoku_sweep(2, **kwargs)
+        got = [r["puzzle_seed"] for r in mixed["results"]]
+        assert got == [derive_task_seed(1000, i) for i in range(2)]
+
+    def test_legacy_linear_scheme_preserved_as_opt_out(self):
+        kwargs = dict(base_seed=1000, target_clues=40, max_steps=40)
+        legacy = pooled_sudoku_sweep(2, mix_seeds=False, **kwargs)
+        assert [r["puzzle_seed"] for r in legacy["results"]] == [1000, 1001]
+
+    def test_schemes_differ(self):
+        kwargs = dict(base_seed=1000, target_clues=40, max_steps=40)
+        mixed = pooled_sudoku_sweep(1, **kwargs)
+        legacy = pooled_sudoku_sweep(1, mix_seeds=False, **kwargs)
+        assert (
+            mixed["results"][0]["puzzle_seed"] != legacy["results"][0]["puzzle_seed"]
+        )

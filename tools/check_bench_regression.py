@@ -85,12 +85,47 @@ def compare_iss(baseline: dict, current: dict, cmp: Comparator) -> None:
     cmp.check("BENCH_iss", "speedup", baseline.get("speedup", 0), current.get("speedup", 0))
 
 
+def _portfolio_config(record: dict) -> object:
+    """The configuration fingerprint of a portfolio record (pool layout)."""
+    pools = record.get("pools", {})
+    keys = ("num_instances", "num_neurons", "max_steps", "base_budget", "max_parallel", "schedule")
+    return {name: tuple(pool.get(k) for k in keys) for name, pool in sorted(pools.items())}
+
+
+def compare_csp_portfolio(base: dict, cur: dict, cmp: Comparator) -> None:
+    """The restart-portfolio record: solve rate and the update ratio.
+
+    ``update_ratio`` is fixed-seed over portfolio total neuron updates at
+    equal step budget — higher is better, and a drop means the portfolio
+    engine lost efficiency relative to the fixed-seed baseline.  Both
+    metrics are deterministic (fully seeded), so any drop is a real code
+    change, not runner noise.
+    """
+    if _portfolio_config(base) != _portfolio_config(cur):
+        cmp.skip(
+            "BENCH_csp[portfolio]: hard-pool configuration differs from baseline; "
+            "skipping comparison"
+        )
+        return
+    label = "BENCH_csp[portfolio]"
+    cmp.check(
+        label,
+        "solve_rate_portfolio",
+        base.get("solve_rate_portfolio", 0),
+        cur.get("solve_rate_portfolio", 0),
+    )
+    cmp.check(label, "update_ratio", base.get("update_ratio", 0), cur.get("update_ratio", 0))
+
+
 def compare_csp(baseline: dict, current: dict, cmp: Comparator) -> None:
-    """CSP solver file: one record per scenario family."""
+    """CSP solver file: one record per scenario family plus the portfolio."""
     for scenario, base in sorted(baseline.items()):
         cur = current.get(scenario)
         if cur is None:
             cmp.skip(f"BENCH_csp[{scenario}]: missing from current run; skipping")
+            continue
+        if scenario == "portfolio":
+            compare_csp_portfolio(base, cur, cmp)
             continue
         config_keys = ("num_instances", "num_neurons", "max_steps", "throughput_steps")
         if any(base.get(k) != cur.get(k) for k in config_keys):
