@@ -1,0 +1,214 @@
+"""E-S2 — continuous-batching solve service under synthetic open-loop load.
+
+Drives the :mod:`repro.serve` service at batch capacity with a seeded
+many-client open-loop workload (Poisson arrivals over the scheduler's
+step clock, a bounded unique-instance pool so repeats exercise the
+dedup layer) and measures sustained served solves per wall-clock second
+plus the deterministic scheduler-step latency percentiles.
+
+Two properties are *asserted*, not just reported:
+
+* every served result is bit-identical to the offline
+  ``SpikingCSPSolver.solve`` run with the same derived seed and budget
+  (the serving contract of ``docs/SERVING.md``); and
+* the run's request ledger is conserved
+  (``served + shed + cancelled + in_flight == submitted``).
+
+Emits ``BENCH_serve.json`` (override with ``BENCH_SERVE_JSON``);
+``tools/check_bench_regression.py`` compares it against the committed
+baseline — throughput and the p99 step latency are gated.
+
+Environment knobs (CI smoke lowers the workload; nightly runs it full):
+
+===============================  ===========================================
+``SERVE_BENCH_CAPACITY``         batch rows kept hot (default 32)
+``SERVE_BENCH_CLIENTS``          concurrent synthetic clients (default 8)
+``SERVE_BENCH_REQUESTS``         requests per client (default 8)
+``SERVE_BENCH_UNIQUE``           unique instances in the pool (default 24)
+``SERVE_BENCH_INTERARRIVAL``     mean arrival gap in steps (default 12)
+``SERVE_BENCH_MAX_STEPS``        per-request step budget (default 1500)
+``SERVE_BENCH_VERTICES``         coloring vertices per instance (default 12)
+``SERVE_BENCH_ROUNDS``           wall-clock timing rounds, best-of (default 3)
+===============================  ===========================================
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.csp.config import CSPConfig
+from repro.csp.solver import SpikingCSPSolver
+from repro.harness import format_table
+from repro.serve import OpenLoopLoad, build_instance_pool, run_open_loop_sync
+
+CAPACITY = int(os.environ.get("SERVE_BENCH_CAPACITY", "32"))
+CLIENTS = int(os.environ.get("SERVE_BENCH_CLIENTS", "8"))
+REQUESTS = int(os.environ.get("SERVE_BENCH_REQUESTS", "8"))
+UNIQUE = int(os.environ.get("SERVE_BENCH_UNIQUE", "24"))
+INTERARRIVAL = float(os.environ.get("SERVE_BENCH_INTERARRIVAL", "12"))
+MAX_STEPS = int(os.environ.get("SERVE_BENCH_MAX_STEPS", "1500"))
+VERTICES = int(os.environ.get("SERVE_BENCH_VERTICES", "12"))
+ROUNDS = int(os.environ.get("SERVE_BENCH_ROUNDS", "3"))
+CHECK_INTERVAL = 10
+SEED = 2025
+
+JSON_PATH = os.environ.get(
+    "BENCH_SERVE_JSON", os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+)
+
+SPEC = OpenLoopLoad(
+    num_clients=CLIENTS,
+    requests_per_client=REQUESTS,
+    mean_interarrival_steps=INTERARRIVAL,
+    scenario="coloring",
+    scenario_params={"num_vertices": VERTICES, "num_colors": 3},
+    unique_instances=UNIQUE,
+    seed=SEED,
+    max_steps=MAX_STEPS,
+)
+
+
+def _merge_into_json(updates):
+    """Merge ``updates`` into ``BENCH_serve.json``, preserving other keys."""
+    payload = {}
+    if os.path.exists(JSON_PATH):
+        try:
+            with open(JSON_PATH) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = {}
+    payload.update(updates)
+    with open(JSON_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"Wrote {JSON_PATH}")
+
+
+def _run_load():
+    """One full open-loop run; returns (rows, metrics, wall seconds)."""
+    start = time.perf_counter()
+    rows, metrics = run_open_loop_sync(
+        SPEC,
+        capacity=CAPACITY,
+        check_interval=CHECK_INTERVAL,
+        default_max_steps=MAX_STEPS,
+        seed=SEED,
+        clock="steps",
+    )
+    return rows, metrics, time.perf_counter() - start
+
+
+def _assert_offline_identity(rows):
+    """Every served result equals the standalone solve with its seed."""
+    pool = build_instance_pool(SPEC)
+    config = CSPConfig()
+    offline = {}
+    for _, pick, served in rows:
+        assert served is not None, "open-loop run shed requests unexpectedly"
+        ident = (pick, served.seed, served.max_steps)
+        if ident not in offline:
+            graph, clamps = pool[pick]
+            offline[ident] = SpikingCSPSolver(graph, config, seed=served.seed).solve(
+                clamps, max_steps=served.max_steps, check_interval=CHECK_INTERVAL
+            )
+        reference = offline[ident]
+        assert reference.solved == served.result.solved
+        assert reference.steps == served.result.steps
+        assert reference.total_spikes == served.result.total_spikes
+        assert reference.neuron_updates == served.result.neuron_updates
+        np.testing.assert_array_equal(reference.values, served.result.values)
+        np.testing.assert_array_equal(reference.decided, served.result.decided)
+    return len(offline)
+
+
+def test_serve_open_loop_sustained_throughput(benchmark):
+    rows, metrics, wall = _run_load()
+    for _ in range(max(0, ROUNDS - 1)):
+        _, repeat_metrics, repeat_wall = _run_load()
+        # Deterministic service: repeats only tighten the wall clock.
+        assert repeat_metrics.as_dict() == metrics.as_dict()
+        wall = min(wall, repeat_wall)
+
+    unique_solves = _assert_offline_identity(rows)
+    snap = metrics.as_dict()
+    assert (
+        snap["served"] + snap["shed"] + snap["cancelled"] + snap["in_flight"]
+        == snap["submitted"]
+    )
+    assert snap["in_flight"] == 0  # drained
+
+    total = SPEC.total_requests
+    repeats = total - unique_solves
+    dedup_hits = snap["cache_hits"] + snap["coalesced"]
+    payload = {
+        "open_loop": {
+            # Run configuration (the regression gate's fingerprint).
+            "scenario": "coloring",
+            "capacity": CAPACITY,
+            "num_clients": CLIENTS,
+            "requests_per_client": REQUESTS,
+            "unique_instances": UNIQUE,
+            "mean_interarrival_steps": INTERARRIVAL,
+            "max_steps": MAX_STEPS,
+            "num_neurons": VERTICES * 3,
+            # Deterministic outcomes.
+            "total_requests": total,
+            "served": snap["served"],
+            "solved": snap["solved"],
+            "solve_rate": snap["solved"] / total,
+            "total_steps": snap["total_steps"],
+            "occupancy": snap["occupancy"],
+            "latency_steps_p50": snap["latency_steps_p50"],
+            "latency_steps_p99": snap["latency_steps_p99"],
+            "cache_hits": snap["cache_hits"],
+            "coalesced": snap["coalesced"],
+            "repeat_requests": repeats,
+            "cache_hit_rate": dedup_hits / repeats if repeats else 0.0,
+            "shed": snap["shed"],
+            # Wall-clock throughput (best of ROUNDS).
+            "wall_seconds": wall,
+            "solves_per_second": snap["solved"] / wall if wall > 0 else 0.0,
+            "steps_per_second": snap["total_steps"] / wall if wall > 0 else 0.0,
+        }
+    }
+
+    summary = payload["open_loop"]
+    print()
+    print(
+        format_table(
+            ["Requests", "Served", "Solved", "p50 steps", "p99 steps", "Dedup", "Solves/s"],
+            [
+                [
+                    total,
+                    summary["served"],
+                    summary["solved"],
+                    f"{summary['latency_steps_p50']:.0f}",
+                    f"{summary['latency_steps_p99']:.0f}",
+                    f"{dedup_hits}/{repeats}",
+                    f"{summary['solves_per_second']:.1f}",
+                ]
+            ],
+            title=(
+                f"Solve service: {CLIENTS} clients x {REQUESTS} requests, "
+                f"B={CAPACITY}, {UNIQUE} unique instances"
+            ),
+        )
+    )
+
+    _merge_into_json(payload)
+    benchmark.extra_info.update(
+        {
+            "solves_per_second": summary["solves_per_second"],
+            "latency_steps_p99": summary["latency_steps_p99"],
+            "cache_hit_rate": summary["cache_hit_rate"],
+        }
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # The service must actually solve the pool it serves...
+    assert summary["solve_rate"] >= 0.9
+    # ...and repeats of in-pool instances must be deduplicated.
+    if repeats:
+        assert dedup_hits == repeats

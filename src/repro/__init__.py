@@ -30,6 +30,12 @@ Subpackages
     Batched multi-network runtime: the ``SimBackend`` registry over the
     four execution paths, the vectorised ``(B, N)`` batch engine and the
     process-pool ``SweepExecutor`` (see ``docs/RUNTIME.md``).
+``repro.csp``
+    Generic spiking constraint solver: WTA domain encoding, scenario
+    generators and the restart-portfolio engine (see ``docs/CSP.md``).
+``repro.serve``
+    Continuous-batching asyncio solve service streaming many clients'
+    instances through one always-hot fused batch (see ``docs/SERVING.md``).
 """
 
 __version__ = "0.2.0"

@@ -22,7 +22,7 @@ conflict edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 from scipy import sparse
@@ -114,6 +114,8 @@ class ConstraintGraph:
         #: fast path (built lazily; the flag caches the negative case).
         self._pos_lookup: Optional[np.ndarray] = None
         self._pos_lookup_ready = False
+        #: Cached structural cache token (see :meth:`cache_token`).
+        self._cache_token: Optional[Mapping[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # Lookups
@@ -190,6 +192,7 @@ class ConstraintGraph:
         self._explicit[nb].add(na)
         self._conflict_arrays = None
         self._conflict_csr = None
+        self._cache_token = None
 
     def add_not_equal(self, var_a: VariableRef, var_b: VariableRef) -> None:
         """Forbid ``var_a == var_b`` (conflict on every shared domain value)."""
@@ -279,6 +282,32 @@ class ConstraintGraph:
             vals.append(self_excitation)
         matrix = sparse.coo_matrix((vals, (rows, cols)), shape=(self.num_neurons, self.num_neurons))
         return SparseSynapses(matrix)
+
+    def cache_token(self) -> Mapping[str, Any]:
+        """Canonical structural identity for content-addressed caching.
+
+        Consumed by :mod:`repro.runtime.cache` through the
+        ``cache_token`` protocol, so a graph can key a
+        :class:`~repro.runtime.cache.RunResultCache` entry (the serve
+        tier dedupes repeat instances this way).  The token covers
+        exactly what the solver dynamics see — the per-variable domains
+        in declared order plus the explicit conflict edges — and
+        deliberately excludes variable *names*: solve results are
+        index-based arrays, so structurally identical graphs may share
+        cache entries regardless of naming.
+        """
+        if self._cache_token is None:
+            edges = sorted(
+                (pre, post)
+                for pre, targets in enumerate(self._explicit)
+                for post in targets
+                if pre < post
+            )
+            self._cache_token = {
+                "domains": [list(map(int, v.domain)) for v in self.variables],
+                "conflicts": [[int(a), int(b)] for a, b in edges],
+            }
+        return self._cache_token
 
     def statistics(self) -> CSPStatistics:
         """Structural statistics of the WTA graph."""

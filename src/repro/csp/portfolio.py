@@ -330,15 +330,13 @@ def solve_instances_portfolio(
         networks.append(network)
 
     from ..runtime.batch import BatchedNetwork
-    from ..runtime.drives import PortfolioAnnealedDrive
+    from ..runtime.drives import PortfolioAnnealedDrive, annealed_specs
 
     def fresh_batch(nets: Sequence[object]) -> BatchedNetwork:
         return BatchedNetwork.from_networks(
             nets,
             synapse_mode="exact",
-            batched_external=PortfolioAnnealedDrive(
-                [net.external_input.drive_spec for net in nets]
-            ),
+            batched_external=PortfolioAnnealedDrive(annealed_specs(nets)),
         )
 
     substeps = getattr(networks[0].population, "substeps_per_ms", 1)

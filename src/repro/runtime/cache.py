@@ -45,6 +45,7 @@ __all__ = [
     "UncacheableRequestError",
     "code_fingerprint",
     "default_cache",
+    "derive_cache_key",
     "resolve_cache",
 ]
 
@@ -81,6 +82,14 @@ def _token(obj: Any) -> Any:
     if isinstance(obj, np.ndarray):
         digest = hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest()
         return {"__ndarray__": [str(obj.dtype), list(obj.shape), digest]}
+    # Objects may declare their own canonical form through the
+    # ``cache_token`` protocol (e.g. ``ConstraintGraph``, which is not a
+    # dataclass and whose identity is structural).  The protocol wins
+    # over the generic dataclass reduction so classes can exclude
+    # incidental fields (names, caches) from their cache identity.
+    token_method = getattr(obj, "cache_token", None)
+    if callable(token_method) and not isinstance(obj, type):
+        return {"__object__": type(obj).__qualname__, "token": _token(token_method())}
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
             "__dataclass__": type(obj).__qualname__,
@@ -98,6 +107,31 @@ def _token(obj: Any) -> Any:
     raise UncacheableRequestError(
         f"cannot derive a stable cache key from {type(obj).__qualname__!r}"
     )
+
+
+def derive_cache_key(backend_name: str, request: Any) -> Optional[str]:
+    """Content-addressed key of one ``(backend, request)`` pair.
+
+    The module-level form of :meth:`RunResultCache.key_for`, usable
+    without a cache instance (the serve tier derives request identities
+    from it even when running cache-less).  Returns ``None`` when the
+    request contains an object with no stable canonical form.
+    """
+    try:
+        token = _token(request)
+    except UncacheableRequestError:
+        return None
+    payload = json.dumps(
+        {
+            "version": _FORMAT_VERSION,
+            "backend": backend_name,
+            "request": token,
+            "code": code_fingerprint(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 _FINGERPRINT: Optional[str] = None
@@ -146,21 +180,7 @@ class RunResultCache:
     # ------------------------------------------------------------------ #
     def key_for(self, backend_name: str, request: Any) -> Optional[str]:
         """Cache key for one run, or ``None`` if the request is uncacheable."""
-        try:
-            token = _token(request)
-        except UncacheableRequestError:
-            return None
-        payload = json.dumps(
-            {
-                "version": _FORMAT_VERSION,
-                "backend": backend_name,
-                "request": token,
-                "code": code_fingerprint(),
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        return derive_cache_key(backend_name, request)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -168,18 +188,29 @@ class RunResultCache:
     # ------------------------------------------------------------------ #
     # Storage
     # ------------------------------------------------------------------ #
-    def get(self, key: str) -> Optional[Any]:
-        """Load a cached result (``None`` on miss or corrupt entry)."""
+    def get(self, key: str, *, expect: Optional[type] = None) -> Optional[Any]:
+        """Load a cached result (``None`` on miss or corrupt entry).
+
+        With ``expect`` set, an entry that unpickles to a different type
+        — e.g. a foreign pickle dropped into the cache directory, or an
+        entry written by an incompatible tool — is treated exactly like
+        a truncated one: unlinked and reported as a miss, never handed
+        to the caller.
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
+                result = pickle.load(fh)
         except FileNotFoundError:
             return None
         except Exception:
             # A truncated or unreadable entry is a miss, not an error.
             path.unlink(missing_ok=True)
             return None
+        if expect is not None and not isinstance(result, expect):
+            path.unlink(missing_ok=True)
+            return None
+        return result
 
     def put(self, key: str, result: Any) -> None:
         """Store ``result`` under ``key`` (atomic replace, crash safe)."""

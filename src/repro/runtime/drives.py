@@ -53,6 +53,7 @@ __all__ = [
     "CompiledAnnealedDrive",
     "CompiledScaledDrive",
     "PortfolioAnnealedDrive",
+    "annealed_specs",
     "compile_batched_external",
 ]
 
@@ -277,16 +278,10 @@ class PortfolioAnnealedDrive(CompiledDrive):
         """Stack the (fresh) networks' annealed-noise specs onto the batch."""
         if not networks:
             return
-        specs = []
-        for network in networks:
-            spec = _spec_of(network)
-            if not isinstance(spec, AnnealedNoiseSpec):
-                raise ValueError(
-                    "portfolio drive can only stack in networks with an annealed-noise spec"
-                )
+        specs = annealed_specs(networks)
+        for spec in specs:
             if np.asarray(spec.drive).shape != self._drives.shape[1:]:
                 raise ValueError("stacked-in drive width differs from the live batch")
-            specs.append(spec)
         self._drives = np.concatenate(
             [self._drives, np.stack([np.asarray(s.drive, dtype=np.float64) for s in specs])]
         )
@@ -361,6 +356,27 @@ def _spec_of(network: SNNNetwork):
         )
         return ScaledNoiseSpec(scale=scale, rng=owner.rng)
     return None
+
+
+def annealed_specs(networks: Sequence[SNNNetwork]) -> List[AnnealedNoiseSpec]:
+    """The networks' annealed-noise drive specs, validated.
+
+    The contract for stacking networks into a
+    :class:`PortfolioAnnealedDrive` batch (the portfolio and serve
+    engines build every row through
+    ``SpikingCSPSolver.build_network``, which attaches the spec): each
+    network's external provider must carry an
+    :class:`AnnealedNoiseSpec`, otherwise ``ValueError`` is raised.
+    """
+    specs: List[AnnealedNoiseSpec] = []
+    for network in networks:
+        spec = _spec_of(network)
+        if not isinstance(spec, AnnealedNoiseSpec):
+            raise ValueError(
+                "can only stack in networks whose external input carries an annealed-noise spec"
+            )
+        specs.append(spec)
+    return specs
 
 
 def compile_batched_external(

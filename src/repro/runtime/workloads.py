@@ -40,6 +40,7 @@ __all__ = [
     "pooled_sudoku_sweep",
     "pooled_csp_sweep",
     "run_many_on_backend",
+    "serve_load_sweep",
 ]
 
 
@@ -438,4 +439,74 @@ def csp_portfolio_sweep(
         "total_attempts": int(sum(r.attempts for r in results)),
         "total_neuron_updates": int(sum(r.neuron_updates for r in results)),
         "results": results,
+    }
+
+
+def serve_load_sweep(
+    *,
+    capacity: int = 32,
+    queue_limit: Optional[int] = None,
+    num_clients: int = 8,
+    requests_per_client: int = 8,
+    mean_interarrival_steps: float = 40.0,
+    scenario: str = "coloring",
+    scenario_params: Optional[Dict[str, Any]] = None,
+    unique_instances: int = 24,
+    seed: int = 0,
+    max_steps: int = 1500,
+    deadline: Optional[float] = None,
+    config=None,
+    backend: str = "fixed",
+    check_interval: int = 10,
+    cache: Optional[RunResultCache] = None,
+) -> Dict[str, Any]:
+    """Drive a seeded open-loop workload through a :class:`SolveService`.
+
+    The online counterpart of :func:`csp_portfolio_sweep`: instead of
+    handing the engine the whole instance pool up front, ``num_clients``
+    synthetic clients submit requests on a Poisson arrival schedule and
+    the continuous-batching service streams them through one always-hot
+    exact-mode batch (:mod:`repro.serve`).  The service runs on its
+    deterministic step clock, so the summary — including shed counts and
+    latency percentiles — is exactly reproducible for a given seed.
+
+    Returns the served rows (``(client, pool_index, ServeResult-or-None)``)
+    plus the final :class:`~repro.serve.metrics.MetricsSnapshot` fields.
+    """
+    from ..serve import OpenLoopLoad, run_open_loop_sync
+
+    spec = OpenLoopLoad(
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        mean_interarrival_steps=mean_interarrival_steps,
+        scenario=scenario,
+        scenario_params=dict(scenario_params or {}),
+        unique_instances=unique_instances,
+        seed=seed,
+        max_steps=max_steps,
+        deadline=deadline,
+    )
+    rows, metrics = run_open_loop_sync(
+        spec,
+        capacity=capacity,
+        queue_limit=queue_limit,
+        config=config,
+        backend=backend,
+        check_interval=check_interval,
+        seed=seed,
+        cache=cache,
+        clock="steps",
+        default_max_steps=max_steps,
+    )
+    served = [result for _, _, result in rows if result is not None]
+    solved = sum(1 for r in served if r.solved)
+    return {
+        "scenario": scenario,
+        "capacity": capacity,
+        "num_requests": spec.total_requests,
+        "served": len(served),
+        "solved": solved,
+        "solve_rate": solved / len(served) if served else 0.0,
+        "rows": rows,
+        "metrics": metrics.as_dict(),
     }

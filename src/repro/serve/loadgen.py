@@ -1,0 +1,120 @@
+"""Synthetic open-loop load for the continuous-batching solve service.
+
+An *open-loop* generator decides arrival times in advance (a Poisson
+process per client over the scheduler's step clock) and submits each
+request at its scheduled step whether or not earlier requests have
+completed — the load model under which continuous batching earns its
+keep, since a closed loop would never queue deeper than its client
+count.  Arrival schedules are derived from the spec seed alone, and the
+service's :meth:`~repro.serve.service.SolveService.wait_for_step` clock
+makes them reproducible: the same spec against the same service
+parameters yields the same admissions, the same shed set and the same
+per-request results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..csp.graph import ConstraintGraph
+from ..csp.scenarios import make_instance
+from ..runtime.sweep import derive_task_seed
+from .service import LoadShedError, ServeResult, SolveService
+
+__all__ = ["OpenLoopLoad", "build_instance_pool", "run_open_loop", "run_open_loop_sync"]
+
+
+@dataclass(frozen=True)
+class OpenLoopLoad:
+    """A seeded open-loop workload against one :class:`SolveService`.
+
+    ``unique_instances`` bounds the instance pool: with fewer unique
+    instances than total requests, repeats exercise the dedup layer
+    (in-flight coalescing plus the result memo/cache).  Inter-arrival
+    gaps are exponential with mean ``mean_interarrival_steps`` in
+    scheduler steps, quantised to whole steps.
+    """
+
+    num_clients: int = 4
+    requests_per_client: int = 8
+    mean_interarrival_steps: float = 40.0
+    scenario: str = "coloring"
+    scenario_params: Mapping[str, Any] = field(default_factory=dict)
+    unique_instances: int = 16
+    seed: int = 0
+    max_steps: int = 1500
+    deadline: Optional[float] = None
+
+    @property
+    def total_requests(self) -> int:
+        return self.num_clients * self.requests_per_client
+
+
+def build_instance_pool(spec: OpenLoopLoad) -> List[Tuple[ConstraintGraph, Dict[str, int]]]:
+    """The spec's deterministic pool of distinct instances."""
+    return [
+        make_instance(spec.scenario, seed=spec.seed + i, **dict(spec.scenario_params))
+        for i in range(max(1, spec.unique_instances))
+    ]
+
+
+def arrival_schedule(spec: OpenLoopLoad, client: int) -> List[Tuple[int, int]]:
+    """One client's ``(arrival_step, pool_index)`` schedule, seed-derived."""
+    rng = np.random.default_rng(derive_task_seed(spec.seed, client))
+    gaps = rng.exponential(spec.mean_interarrival_steps, size=spec.requests_per_client)
+    arrivals = np.maximum(1, np.ceil(np.cumsum(gaps))).astype(np.int64)
+    pool = max(1, spec.unique_instances)
+    picks = rng.integers(0, pool, size=spec.requests_per_client)
+    return [(int(step), int(pick)) for step, pick in zip(arrivals, picks)]
+
+
+async def run_open_loop(
+    service: SolveService, spec: OpenLoopLoad
+) -> List[Tuple[int, int, Optional[ServeResult]]]:
+    """Drive ``spec`` against a running service.
+
+    Returns one ``(client, pool_index, result)`` row per request in a
+    deterministic order (by client, then by that client's schedule);
+    shed requests carry ``None``.
+    """
+    pool = build_instance_pool(spec)
+
+    async def one_request(client: int, arrival: int, pick: int) -> Optional[ServeResult]:
+        await service.wait_for_step(arrival)
+        graph, clamps = pool[pick]
+        try:
+            return await service.submit(
+                graph,
+                clamps,
+                client=f"client-{client}",
+                max_steps=spec.max_steps,
+                deadline=spec.deadline,
+            )
+        except LoadShedError:
+            return None
+
+    tasks: List[Tuple[int, int, "asyncio.Task[Optional[ServeResult]]"]] = []
+    for client in range(spec.num_clients):
+        for arrival, pick in arrival_schedule(spec, client):
+            tasks.append((client, pick, asyncio.ensure_future(one_request(client, arrival, pick))))
+    results = await asyncio.gather(*(task for _, _, task in tasks))
+    return [(client, pick, result) for (client, pick, _), result in zip(tasks, results)]
+
+
+def run_open_loop_sync(
+    spec: OpenLoopLoad, **service_kwargs: Any
+) -> Tuple[List[Tuple[int, int, Optional[ServeResult]]], "Any"]:
+    """Run ``spec`` on a fresh service; returns (rows, final metrics)."""
+
+    async def _run():
+        service = SolveService(**service_kwargs)
+        async with service:
+            rows = await run_open_loop(service, spec)
+            await service.stop(drain=True)
+            return rows, service.metrics()
+
+    return asyncio.run(_run())

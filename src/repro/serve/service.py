@@ -1,0 +1,965 @@
+"""Continuous-batching solve service over the exact-mode batched runtime.
+
+:class:`SolveService` accepts CSP instances from many concurrent asyncio
+clients and keeps them solving inside **one always-hot fused batch**:
+admitted requests are stacked into a live
+:class:`~repro.runtime.batch.BatchedNetwork` (integer CSR propagation,
+compiled batched drives), and whenever a row finishes — solved, out of
+its per-request step budget, past its deadline or abandoned by its
+client — the freed slot is refilled from the admission queue through
+``BatchedNetwork.retain`` / ``extend``, exactly the mechanics of
+:func:`repro.csp.portfolio.solve_instances_portfolio`.
+
+**Bit-exactness contract.**  Every served solve is bit-identical to the
+standalone run ``SpikingCSPSolver(graph, config, seed=request_seed)
+.solve(clamps, max_steps=budget, check_interval=check_interval)`` — and
+therefore to the same request's row in an offline
+:func:`repro.csp.solver.solve_instances` call with the same derived
+seeds.  The service guarantees this the same way the portfolio engine
+does: each row keeps a *local* step counter (``global step - admission
+offset``) that drives its anneal phase (``step_offset`` stamped into
+the row's :class:`~repro.runtime.drives.AnnealedNoiseSpec`), its
+sliding-window decode slots and its recency bookkeeping, so neither the
+arrival order, the interleaving with other clients, nor mid-run
+retain/extend of neighbouring rows can perturb a request's trajectory.
+The differential suite (``tests/serve/test_offline_equivalence.py``)
+pins the contract.
+
+**Scheduling.**  Admission is FIFO per client with round-robin
+fairness across clients.  A bounded admission queue sheds load with a
+typed :class:`LoadShedError` at submit time.  Deadlines (in clock
+units) are enforced at admission and at decode checkpoints; expiry
+yields a typed ``timeout`` result rather than an exception.  Client
+cancellation (``asyncio`` task cancellation while awaiting ``submit``)
+frees the request's batch slot at the next scheduler round without
+touching surviving rows' streams.
+
+**Dedup.**  Requests are content-addressed: the cache key hashes the
+graph structure (:meth:`~repro.csp.graph.ConstraintGraph.cache_token`),
+resolved clamps, solver config, backend, budget, check interval and
+seed through :func:`repro.runtime.cache.derive_cache_key`.  Identical
+in-flight requests coalesce onto one batch row; completed results are
+memoised (and, with a :class:`~repro.runtime.cache.RunResultCache`
+attached, persisted) so repeats are served without re-solving.  The
+default request seed is itself derived from the content key, so a
+repeat instance maps to the same seed — and the same answer —
+regardless of arrival order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..csp.config import CSPConfig
+from ..csp.graph import ClampsLike, ConstraintGraph
+from ..csp.solver import CSPSolveResult, SpikingCSPSolver, _empty_result, decode_assignment
+from ..runtime.batch import BatchedNetwork
+from ..runtime.cache import RunResultCache, derive_cache_key
+from ..runtime.drives import PortfolioAnnealedDrive, annealed_specs
+from ..runtime.sweep import derive_task_seed
+from .metrics import MetricsRecorder, MetricsSnapshot
+
+__all__ = [
+    "IncompatibleInstanceError",
+    "LoadShedError",
+    "ServeResult",
+    "ServeStatus",
+    "ServiceClosedError",
+    "SolveService",
+    "derive_request_seed",
+]
+
+
+class ServeError(Exception):
+    """Base of the service's typed rejections."""
+
+
+class LoadShedError(ServeError):
+    """Admission rejected: the queue is at its configured limit."""
+
+    def __init__(self, *, client: str, queue_depth: int, queue_limit: int) -> None:
+        super().__init__(
+            f"admission queue full ({queue_depth}/{queue_limit}); "
+            f"request from client {client!r} shed"
+        )
+        self.client = client
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+
+
+class IncompatibleInstanceError(ServeError):
+    """The instance cannot join the live batch (neuron count mismatch)."""
+
+
+class ServiceClosedError(ServeError):
+    """The service has been stopped and accepts no new submissions."""
+
+
+class ServeStatus(Enum):
+    """Terminal state of one served request."""
+
+    SOLVED = "solved"
+    UNSOLVED = "unsolved"
+    TIMEOUT = "timeout"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one :meth:`SolveService.submit` call."""
+
+    status: ServeStatus
+    client: str
+    #: Content-addressed request key (``None`` for uncacheable requests).
+    key: Optional[str]
+    #: Noise seed the solve ran (or would run) under.
+    seed: int
+    #: Per-request step budget.
+    max_steps: int
+    #: The solve outcome; ``None`` for timeouts resolved before a decode
+    #: and for service-side cancellations.
+    result: Optional[CSPSolveResult]
+    #: Served from the memo / result cache without touching the batch.
+    from_cache: bool
+    #: Joined an identical in-flight request's batch row.
+    coalesced: bool
+    submitted_step: int
+    finished_step: int
+    #: Clock-units latency from submission to completion.
+    latency: float
+
+    @property
+    def solved(self) -> bool:
+        return self.status is ServeStatus.SOLVED
+
+    @property
+    def steps_in_service(self) -> int:
+        """Scheduler steps between submission and completion."""
+        return self.finished_step - self.submitted_step
+
+
+def derive_request_seed(service_seed: int, key: str) -> int:
+    """Deterministic noise seed of a request, derived from its content key.
+
+    Mixes the service's root seed with the first 128 bits of the request
+    key through :class:`numpy.random.SeedSequence`, so a repeat of the
+    same instance maps to the same seed (and, the solver being
+    deterministic, the same answer) regardless of arrival order — the
+    property the dedup layer and the differential suite rely on.
+    """
+    sequence = np.random.SeedSequence([int(service_seed), int(key[:32], 16)])
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+@dataclass
+class _Waiter:
+    """One client awaiting a ticket's outcome."""
+
+    future: "asyncio.Future[ServeResult]"
+    client: str
+    submitted_step: int
+    submitted_at: float
+    #: Absolute expiry in clock units (``None`` = no deadline).
+    deadline: Optional[float]
+    coalesced: bool = False
+    cancelled: bool = False
+
+
+@dataclass
+class _Ticket:
+    """One admission unit: an instance plus everyone waiting on it."""
+
+    key: Optional[str]
+    graph_digest: Optional[str]
+    graph: ConstraintGraph
+    clamps: list
+    seed: int
+    max_steps: int
+    waiters: List[_Waiter] = field(default_factory=list)
+    #: ``queued`` -> ``running`` -> ``done``; ``dead`` = abandoned while queued.
+    state: str = "queued"
+
+
+@dataclass
+class _Row:
+    """One live batch row."""
+
+    ticket: _Ticket
+    #: Global step count when the row was admitted (its local step 0).
+    offset: int
+    budget: int
+
+
+class SolveService:
+    """Continuous-batching CSP solve service (see the module docstring).
+
+    Parameters
+    ----------
+    capacity:
+        Batch rows kept hot (the paper-scale default is 32).
+    queue_limit:
+        Maximum queued (not yet admitted) requests before submissions
+        are shed with :class:`LoadShedError`; ``None`` = unbounded.
+    config / backend / check_interval:
+        Solver parameters shared by every admitted request (a fused
+        batch needs one decode window and check cadence).
+    default_max_steps:
+        Per-request step budget when ``submit`` does not give one.
+    seed:
+        Root of the derived per-request seeds (:func:`derive_request_seed`).
+    cache:
+        Optional :class:`~repro.runtime.cache.RunResultCache` persisting
+        results across service instances; corrupt or wrong-typed entries
+        are treated as misses.
+    memoize:
+        Keep an in-memory result memo for repeat requests (LRU-bounded).
+    clock:
+        ``"monotonic"`` (wall time), ``"steps"`` (deterministic:
+        ``global step * step_seconds`` — what the fault-injection and
+        metrics tests use), or any zero-argument callable.
+    yield_steps:
+        Scheduler steps advanced between asyncio yields (defaults to
+        ``check_interval``): the granularity at which new submissions,
+        cancellations and step-waiters are noticed.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 32,
+        queue_limit: Optional[int] = None,
+        config: Optional[CSPConfig] = None,
+        backend: str = "fixed",
+        check_interval: int = 10,
+        default_max_steps: int = 3000,
+        seed: int = 0,
+        cache: Optional[RunResultCache] = None,
+        memoize: bool = True,
+        memo_limit: int = 4096,
+        clock: Union[str, Callable[[], float]] = "monotonic",
+        step_seconds: float = 1e-3,
+        yield_steps: Optional[int] = None,
+        synapse_cache_size: int = 64,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError("queue_limit must be positive (or None for unbounded)")
+        if check_interval < 1:
+            raise ValueError("check_interval must be positive")
+        self._capacity = int(capacity)
+        self._queue_limit = None if queue_limit is None else int(queue_limit)
+        self._config = config if config is not None else CSPConfig()
+        self._backend = backend
+        self._check_interval = int(check_interval)
+        self._default_max_steps = int(default_max_steps)
+        self._seed = int(seed)
+        self._cache = cache
+        self._memoize = memoize
+        self._memo_limit = int(memo_limit)
+        self._yield_steps = int(yield_steps) if yield_steps is not None else self._check_interval
+        self._synapse_cache_size = int(synapse_cache_size)
+        if clock == "monotonic":
+            self._clock: Callable[[], float] = time.monotonic
+        elif clock == "steps":
+            self._clock = lambda: self._step * float(step_seconds)
+        elif callable(clock):
+            self._clock = clock
+        else:
+            raise ValueError(f"unknown clock {clock!r}")
+
+        # Admission state.
+        self._queues: Dict[str, Deque[_Ticket]] = {}
+        self._rr: Deque[str] = deque()
+        self._queued = 0
+        self._inflight: Dict[str, _Ticket] = {}
+
+        # Batch state (portfolio-loop mechanics; allocated lazily).
+        self._rows: List[_Row] = []
+        self._batch: Optional[BatchedNetwork] = None
+        self._step = 0
+        self._num_neurons: Optional[int] = None
+        self._updates_per_step: Optional[int] = None
+        self._window = max(1, self._config.decode_window)
+        self._history: Optional[np.ndarray] = None
+        self._window_counts: Optional[np.ndarray] = None
+        self._last_spike: Optional[np.ndarray] = None
+        self._row_spikes: Optional[np.ndarray] = None
+        self._offsets = np.zeros(0, dtype=np.int64)
+        self._budgets = np.zeros(0, dtype=np.int64)
+        self._row_index = np.zeros(0, dtype=np.int64)
+
+        # Dedup / sharing caches.
+        self._memo: "OrderedDict[str, CSPSolveResult]" = OrderedDict()
+        self._synapses: "OrderedDict[str, object]" = OrderedDict()
+
+        # Scheduler plumbing.
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._wake = asyncio.Event()
+        self._step_heap: List[Tuple[int, int, "asyncio.Future[int]"]] = []
+        self._wait_seq = itertools.count()
+        self._closed = False
+        self._draining = False
+        self._started = False
+
+        self._metrics = MetricsRecorder()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        graph: ConstraintGraph,
+        clamps: ClampsLike = (),
+        *,
+        client: str = "default",
+        seed: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> ServeResult:
+        """Solve one instance through the live batch; awaits the outcome.
+
+        Raises :class:`LoadShedError` when the admission queue is full,
+        :class:`IncompatibleInstanceError` when the graph's neuron count
+        differs from the live batch's, and ``ValueError`` on
+        inconsistent clamps.  Cancelling the awaiting task abandons the
+        request: its batch slot is freed at the next scheduler round.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is stopped")
+        self._ensure_started()
+        resolved = graph.resolve_clamps(clamps)
+        if not graph.clamps_consistent(resolved):
+            raise ValueError("clamps violate a constraint edge")
+        budget = self._default_max_steps if max_steps is None else int(max_steps)
+
+        if budget <= 0:
+            # Mirrors the batch engines' max_steps<=0 guard: the
+            # zero-step decode (clamps only), served immediately.
+            self._metrics.record_submitted()
+            result = _empty_result(graph, resolved)
+            status = ServeStatus.SOLVED if result.solved else ServeStatus.UNSOLVED
+            self._metrics.record_served(status.value, 0.0, 0)
+            return ServeResult(
+                status=status,
+                client=client,
+                key=None,
+                seed=self._seed,
+                max_steps=budget,
+                result=result,
+                from_cache=False,
+                coalesced=False,
+                submitted_step=self._step,
+                finished_step=self._step,
+                latency=0.0,
+            )
+
+        if self._num_neurons is None:
+            self._num_neurons = graph.num_neurons
+        elif graph.num_neurons != self._num_neurons:
+            raise IncompatibleInstanceError(
+                f"instance has {graph.num_neurons} neurons; the live batch "
+                f"is configured for {self._num_neurons}"
+            )
+        self._metrics.record_submitted()
+
+        key, graph_digest = self._request_key(graph, resolved, seed, budget)
+        if seed is not None:
+            request_seed = int(seed)
+        elif key is not None:
+            request_seed = derive_request_seed(self._seed, key)
+        else:  # pragma: no cover - requests are built from tokenisable parts
+            request_seed = derive_task_seed(self._seed, self._metrics.submitted - 1)
+
+        cached = self._lookup_cached(key)
+        if cached is not None:
+            self._metrics.record_cache_hit()
+            status = ServeStatus.SOLVED if cached.solved else ServeStatus.UNSOLVED
+            self._metrics.record_served(status.value, 0.0, 0)
+            return ServeResult(
+                status=status,
+                client=client,
+                key=key,
+                seed=request_seed,
+                max_steps=budget,
+                result=cached,
+                from_cache=True,
+                coalesced=False,
+                submitted_step=self._step,
+                finished_step=self._step,
+                latency=0.0,
+            )
+
+        now = self._now()
+        waiter = _Waiter(
+            future=asyncio.get_running_loop().create_future(),
+            client=client,
+            submitted_step=self._step,
+            submitted_at=now,
+            deadline=(now + float(deadline)) if deadline is not None else None,
+        )
+        ticket = self._inflight.get(key) if key is not None else None
+        if ticket is not None and ticket.state in ("queued", "running"):
+            # Identical request already in flight: share its batch row.
+            waiter.coalesced = True
+            ticket.waiters.append(waiter)
+            self._metrics.record_coalesced()
+        else:
+            if self._queue_limit is not None and self._queued >= self._queue_limit:
+                self._metrics.record_shed()
+                raise LoadShedError(
+                    client=client, queue_depth=self._queued, queue_limit=self._queue_limit
+                )
+            ticket = _Ticket(
+                key=key,
+                graph_digest=graph_digest,
+                graph=graph,
+                clamps=resolved,
+                seed=request_seed,
+                max_steps=budget,
+                waiters=[waiter],
+            )
+            if key is not None:
+                self._inflight[key] = ticket
+            self._enqueue(client, ticket)
+        self._wake.set()
+        try:
+            return await waiter.future
+        except asyncio.CancelledError:
+            self._abandon(waiter, ticket)
+            raise
+
+    async def submit_many(
+        self,
+        instances: Sequence[Tuple[ConstraintGraph, ClampsLike]],
+        *,
+        client: str = "default",
+        seeds: Optional[Sequence[int]] = None,
+        max_steps: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> List[ServeResult]:
+        """Submit a batch of instances concurrently; results in order.
+
+        An empty instance list returns ``[]`` without touching the
+        service (mirroring ``solve_instances([]) == []``).
+        """
+        if not instances:
+            return []
+        if seeds is not None and len(seeds) != len(instances):
+            raise ValueError("seeds must match the number of instances")
+        return list(
+            await asyncio.gather(
+                *(
+                    self.submit(
+                        graph,
+                        clamps,
+                        client=client,
+                        seed=None if seeds is None else int(seeds[i]),
+                        max_steps=max_steps,
+                        deadline=deadline,
+                    )
+                    for i, (graph, clamps) in enumerate(instances)
+                )
+            )
+        )
+
+    async def wait_for_step(self, step: int) -> int:
+        """Resolve once the scheduler's global step counter reaches ``step``.
+
+        The deterministic time base of open-loop load generators: when
+        the service is idle, the step counter fast-forwards to the next
+        awaited step, so arrival schedules never deadlock on an empty
+        batch.  Returns the step count at release.
+        """
+        if self._step >= int(step) or self._closed:
+            return self._step
+        self._ensure_started()
+        future: "asyncio.Future[int]" = asyncio.get_running_loop().create_future()
+        heapq.heappush(self._step_heap, (int(step), next(self._wait_seq), future))
+        self._wake.set()
+        return await future
+
+    def metrics(self) -> MetricsSnapshot:
+        """A point-in-time snapshot of the request ledger."""
+        return self._metrics.snapshot(
+            queue_depth=self._queued,
+            running=len(self._rows),
+            capacity=self._capacity,
+            now=self._now(),
+        )
+
+    @property
+    def step(self) -> int:
+        """Global scheduler steps advanced so far."""
+        return self._step
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop the scheduler.
+
+        ``drain=True`` (default) finishes every queued and running
+        request first; ``drain=False`` aborts outstanding requests,
+        resolving their waiters with ``ServeStatus.CANCELLED``.
+        """
+        self._closed = True
+        task, self._task = self._task, None
+        if task is None or task.done():
+            self._abort_outstanding()
+            return
+        if drain:
+            self._draining = True
+            self._wake.set()
+            await task
+        else:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._abort_outstanding()
+
+    async def __aenter__(self) -> "SolveService":
+        self._ensure_started()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # Request identity and caching
+    # ------------------------------------------------------------------ #
+    def _request_key(
+        self,
+        graph: ConstraintGraph,
+        resolved: Sequence[Tuple[int, int, int]],
+        seed: Optional[int],
+        budget: int,
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Content key of the request plus the graph-structure digest."""
+        graph_digest = derive_cache_key("serve-graph", graph)
+        payload = {
+            "graph": graph,
+            "clamps": [list(map(int, triple)) for triple in resolved],
+            "config": self._config,
+            "backend": self._backend,
+            "max_steps": int(budget),
+            "check_interval": self._check_interval,
+            "seed": None if seed is None else int(seed),
+            "seed_root": self._seed if seed is None else None,
+        }
+        return derive_cache_key("serve", payload), graph_digest
+
+    def _lookup_cached(self, key: Optional[str]) -> Optional[CSPSolveResult]:
+        if key is None:
+            return None
+        if self._memoize and key in self._memo:
+            self._memo.move_to_end(key)
+            return self._memo[key]
+        if self._cache is not None:
+            # Wrong-typed entries are as unusable as truncated ones:
+            # ``expect`` makes the cache treat both as misses.
+            entry = self._cache.get(key, expect=CSPSolveResult)
+            if entry is not None:
+                self._remember(key, entry)
+                return entry
+        return None
+
+    def _remember(self, key: str, result: CSPSolveResult) -> None:
+        if not self._memoize:
+            return
+        self._memo[key] = result
+        self._memo.move_to_end(key)
+        while len(self._memo) > self._memo_limit:
+            self._memo.popitem(last=False)
+
+    def _store(self, key: Optional[str], result: CSPSolveResult) -> None:
+        if key is None:
+            return
+        self._remember(key, result)
+        if self._cache is not None:
+            self._cache.put(key, result)
+
+    # ------------------------------------------------------------------ #
+    # Admission plumbing
+    # ------------------------------------------------------------------ #
+    def _enqueue(self, client: str, ticket: _Ticket) -> None:
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = deque()
+            self._rr.append(client)
+        queue.append(ticket)
+        self._queued += 1
+
+    def _next_ticket(self) -> Optional[_Ticket]:
+        """Pop the next queued ticket, round-robin across clients."""
+        for _ in range(len(self._rr)):
+            client = self._rr.popleft()
+            queue = self._queues.get(client)
+            while queue and queue[0].state == "dead":
+                queue.popleft()
+            if queue:
+                ticket = queue.popleft()
+                self._queued -= 1
+                if queue:
+                    self._rr.append(client)
+                else:
+                    del self._queues[client]
+                return ticket
+            if queue is not None:
+                del self._queues[client]
+        return None
+
+    def _abandon(self, waiter: _Waiter, ticket: _Ticket) -> None:
+        """A client's await was cancelled: book and schedule the cleanup."""
+        if waiter.future.done() and not waiter.future.cancelled():
+            return  # resolved before the client went away; already booked
+        waiter.cancelled = True
+        self._metrics.record_cancelled()
+        if not self._has_live_waiters(ticket):
+            if ticket.state == "queued":
+                ticket.state = "dead"
+                self._queued -= 1
+                if ticket.key is not None:
+                    self._inflight.pop(ticket.key, None)
+            elif ticket.state == "running":
+                # The scheduler frees the batch slot at its next round.
+                self._wake.set()
+
+    @staticmethod
+    def _has_live_waiters(ticket: _Ticket) -> bool:
+        return any(not w.cancelled and not w.future.done() for w in ticket.waiters)
+
+    def _expire_waiters(self, ticket: _Ticket, now: float) -> None:
+        """Resolve waiters whose deadline has passed with a typed timeout."""
+        for waiter in ticket.waiters:
+            if waiter.cancelled or waiter.future.done() or waiter.deadline is None:
+                continue
+            if now >= waiter.deadline:
+                self._resolve_waiter(waiter, ticket, ServeStatus.TIMEOUT, None)
+
+    def _resolve_waiter(
+        self,
+        waiter: _Waiter,
+        ticket: _Ticket,
+        status: ServeStatus,
+        result: Optional[CSPSolveResult],
+        *,
+        from_cache: bool = False,
+    ) -> None:
+        if waiter.future.done():
+            return
+        latency = self._now() - waiter.submitted_at
+        waiter.future.set_result(
+            ServeResult(
+                status=status,
+                client=waiter.client,
+                key=ticket.key,
+                seed=ticket.seed,
+                max_steps=ticket.max_steps,
+                result=result,
+                from_cache=from_cache,
+                coalesced=waiter.coalesced,
+                submitted_step=waiter.submitted_step,
+                finished_step=self._step,
+                latency=latency,
+            )
+        )
+        if status is ServeStatus.CANCELLED:
+            self._metrics.record_cancelled()
+        else:
+            self._metrics.record_served(status.value, latency, self._step - waiter.submitted_step)
+
+    def _finish_ticket(self, ticket: _Ticket, result: CSPSolveResult) -> None:
+        """A row completed with a result: resolve, memoise, release."""
+        ticket.state = "done"
+        if ticket.key is not None:
+            self._inflight.pop(ticket.key, None)
+            # Unsolved outcomes are cached too: the solver is
+            # deterministic, so "unsolved within this budget under this
+            # seed" is the request's true answer.
+            self._store(ticket.key, result)
+        status = ServeStatus.SOLVED if result.solved else ServeStatus.UNSOLVED
+        for waiter in ticket.waiters:
+            self._resolve_waiter(waiter, ticket, status, result)
+
+    def _drop_ticket(self, ticket: _Ticket) -> None:
+        """Release a ticket whose waiters are all gone (cancel/timeout)."""
+        ticket.state = "done"
+        if ticket.key is not None:
+            self._inflight.pop(ticket.key, None)
+
+    # ------------------------------------------------------------------ #
+    # Batch-row construction (the bit-exactness-critical path)
+    # ------------------------------------------------------------------ #
+    def _build_network(self, ticket: _Ticket):
+        """A fresh solver network for one admission, offset-stamped.
+
+        Graphs with identical structure share one synapse build (keyed
+        by the structural digest, LRU-bounded), which also keeps the
+        batch engine on its shared-matrix fast path for repeat
+        instances.  Shared connectivity never changes results — the
+        matrix values are a pure function of the structure and the
+        service-wide config.
+        """
+        synapses = None
+        if ticket.graph_digest is not None:
+            synapses = self._synapses.get(ticket.graph_digest)
+        solver = SpikingCSPSolver(
+            ticket.graph,
+            self._config,
+            backend=self._backend,
+            seed=ticket.seed,
+            synapses=synapses,
+        )
+        if ticket.graph_digest is not None:
+            self._synapses[ticket.graph_digest] = solver.synapses
+            self._synapses.move_to_end(ticket.graph_digest)
+            while len(self._synapses) > self._synapse_cache_size:
+                self._synapses.popitem(last=False)
+        network = solver.build_network(ticket.clamps)
+        # Stamp the admission offset into the drive spec so the batched
+        # provider replays the standalone anneal phase sequence (the
+        # portfolio engine's exactness mechanism).
+        network.external_input.drive_spec.step_offset = self._step
+        if self._updates_per_step is None:
+            substeps = getattr(network.population, "substeps_per_ms", 1)
+            self._updates_per_step = int(self._num_neurons) * int(substeps)
+        return network
+
+    def _take_admissions(self, count: int) -> List[Tuple[_Row, Any]]:
+        """Admit up to ``count`` queued tickets as fresh batch rows."""
+        if count <= 0 or not self._queued:
+            return []
+        now = self._now()
+        taken: List[Tuple[_Row, Any]] = []
+        while len(taken) < count:
+            ticket = self._next_ticket()
+            if ticket is None:
+                break
+            self._expire_waiters(ticket, now)
+            if not self._has_live_waiters(ticket):
+                self._drop_ticket(ticket)
+                continue
+            ticket.state = "running"
+            network = self._build_network(ticket)
+            taken.append((_Row(ticket=ticket, offset=self._step, budget=ticket.max_steps), network))
+        return taken
+
+    def _ensure_arrays(self) -> None:
+        if self._history is None:
+            n = int(self._num_neurons)
+            self._history = np.zeros((self._window, 0, n), dtype=bool)
+            self._window_counts = np.zeros((0, n), dtype=np.int64)
+            self._last_spike = np.full((0, n), -1, dtype=np.int64)
+            self._row_spikes = np.zeros(0, dtype=np.int64)
+
+    def _apply(self, keep: List[int], refills: List[Tuple[_Row, Any]]) -> None:
+        """Recompose the live batch: retain survivors, stack admissions.
+
+        Identical order of operations to the portfolio engine's
+        checkpoint (retain before extend, fresh batch when nothing
+        survives), so surviving rows' noise streams and network state
+        are untouched by their neighbours' departures and arrivals.
+        """
+        new_rows = [self._rows[i] for i in keep] + [row for row, _ in refills]
+        new_nets = [network for _, network in refills]
+        if not new_rows:
+            self._rows = []
+            self._batch = None
+            self._history = None
+            return
+        self._ensure_arrays()
+        if keep and self._batch is not None:
+            if len(keep) < len(self._rows):
+                self._batch.retain(keep)
+            if new_nets:
+                self._batch.extend(new_nets)
+        else:
+            self._batch = BatchedNetwork.from_networks(
+                new_nets,
+                synapse_mode="exact",
+                batched_external=PortfolioAnnealedDrive(annealed_specs(new_nets)),
+            )
+        pad = (len(refills), int(self._num_neurons))
+        self._history = np.concatenate(
+            [self._history[:, keep], np.zeros((self._window,) + pad, dtype=bool)], axis=1
+        )
+        self._window_counts = np.concatenate(
+            [self._window_counts[keep], np.zeros(pad, dtype=np.int64)]
+        )
+        self._last_spike = np.concatenate(
+            [self._last_spike[keep], np.full(pad, -1, dtype=np.int64)]
+        )
+        self._row_spikes = np.concatenate(
+            [self._row_spikes[keep], np.zeros(len(refills), dtype=np.int64)]
+        )
+        self._rows = new_rows
+        self._offsets = np.asarray([r.offset for r in self._rows], dtype=np.int64)
+        self._budgets = np.asarray([r.budget for r in self._rows], dtype=np.int64)
+        self._row_index = np.arange(len(self._rows), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # The scheduler
+    # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        return float(self._clock())
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("service is stopped")
+        if self._task is None or self._task.done():
+            if not self._started:
+                self._started = True
+                self._metrics.started_at = self._now()
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    def _release_step_waiters(self) -> None:
+        while self._step_heap and self._step_heap[0][0] <= self._step:
+            _, _, future = heapq.heappop(self._step_heap)
+            if not future.done():
+                future.set_result(self._step)
+
+    def _flush_step_waiters(self) -> None:
+        while self._step_heap:
+            _, _, future = heapq.heappop(self._step_heap)
+            if not future.done():
+                future.set_result(self._step)
+
+    def _prune_cancelled_rows(self) -> None:
+        """Free batch slots of rows every client has abandoned."""
+        if not self._rows:
+            return
+        keep = [i for i, row in enumerate(self._rows) if self._has_live_waiters(row.ticket)]
+        if len(keep) == len(self._rows):
+            return
+        kept = set(keep)
+        for i, row in enumerate(self._rows):
+            if i not in kept:
+                self._drop_ticket(row.ticket)
+        self._apply(keep, [])
+
+    def _admit(self) -> None:
+        refills = self._take_admissions(self._capacity - len(self._rows))
+        if refills:
+            self._apply(list(range(len(self._rows))), refills)
+
+    async def _run(self) -> None:
+        while True:
+            self._release_step_waiters()
+            self._prune_cancelled_rows()
+            self._admit()
+            if not self._rows:
+                if self._queued:
+                    continue  # a fresh admission round will pick them up
+                if self._draining:
+                    break
+                if self._step_heap:
+                    # Idle with clients waiting on future steps: fast-
+                    # forward the step clock (open-loop arrival times
+                    # pass whether or not the batch is busy).
+                    target = self._step_heap[0][0]
+                    if target > self._step:
+                        self._step = target
+                    continue
+                self._wake.clear()
+                if self._queued or self._step_heap or self._draining:
+                    continue  # a submit landed between the checks
+                await self._wake.wait()
+                continue
+            for _ in range(self._yield_steps):
+                self._advance_step()
+                if not self._rows:
+                    break
+            await asyncio.sleep(0)
+        self._flush_step_waiters()
+
+    def _advance_step(self) -> None:
+        """One global batch step plus the checkpoint bookkeeping.
+
+        Structurally identical to the portfolio engine's inner loop —
+        local step counters, per-row sliding-window slots, local-step
+        recency — which is what makes every row bit-identical to its
+        standalone solve.
+        """
+        self._step += 1
+        step = self._step
+        fired = self._batch.step(step)
+        local = step - self._offsets  # per-row local step (1-based)
+        slot = local % self._window
+        self._window_counts -= self._history[slot, self._row_index]
+        self._history[slot, self._row_index] = fired
+        self._window_counts += fired
+        if fired.any():
+            fr, fc = np.nonzero(fired)
+            self._last_spike[fr, fc] = local[fr]
+            self._row_spikes += fired.sum(axis=1)
+        self._metrics.record_step(len(self._rows))
+
+        at_budget = local >= self._budgets
+        at_check = (local % self._check_interval == 0) | at_budget
+        if not at_check.any():
+            return
+
+        now = self._now()
+        keep: List[int] = []
+        for row, live in enumerate(self._rows):
+            ticket = live.ticket
+            if not at_check[row]:
+                keep.append(row)
+                continue
+            values, decided = decode_assignment(
+                ticket.graph, self._window_counts[row], self._last_spike[row], ticket.clamps
+            )
+            solved = ticket.graph.is_solution(values, decided)
+            if solved or at_budget[row]:
+                result = CSPSolveResult(
+                    solved=solved,
+                    steps=int(local[row]),
+                    values=values,
+                    decided=decided,
+                    total_spikes=int(self._row_spikes[row]),
+                    neuron_updates=int(local[row]) * int(self._updates_per_step),
+                    attempts=1,
+                    attempt_steps=(int(local[row]),),
+                )
+                self._finish_ticket(ticket, result)
+                continue
+            self._expire_waiters(ticket, now)
+            if self._has_live_waiters(ticket):
+                keep.append(row)
+            else:
+                self._drop_ticket(ticket)
+        refills = self._take_admissions(self._capacity - len(keep))
+        if len(keep) == len(self._rows) and not refills:
+            return
+        self._apply(keep, refills)
+
+    def _abort_outstanding(self) -> None:
+        """Resolve every outstanding waiter with ``CANCELLED`` (abort path)."""
+        tickets: List[_Ticket] = [row.ticket for row in self._rows]
+        for queue in self._queues.values():
+            tickets.extend(t for t in queue if t.state == "queued")
+        for ticket in tickets:
+            for waiter in ticket.waiters:
+                self._resolve_waiter(waiter, ticket, ServeStatus.CANCELLED, None)
+            self._drop_ticket(ticket)
+        self._rows = []
+        self._batch = None
+        self._history = None
+        self._queues.clear()
+        self._rr.clear()
+        self._queued = 0
+        self._inflight.clear()
+        self._flush_step_waiters()

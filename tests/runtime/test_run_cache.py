@@ -204,3 +204,54 @@ class TestKeyDerivation:
     def test_results_pickle_with_highest_protocol(self):
         result = RunResult(backend="x", workload="w", num_steps=1, total_spikes=0)
         assert pickle.loads(pickle.dumps(result, pickle.HIGHEST_PROTOCOL)) == result
+
+
+class TestCacheTokenProtocol:
+    def test_objects_with_cache_token_tokenise(self):
+        class Structured:
+            def __init__(self, payload):
+                self.payload = payload
+
+            def cache_token(self):
+                return {"payload": self.payload}
+
+        token = _token(Structured([1, 2]))
+        assert token["__object__"].endswith("Structured")  # qualname of a local class
+        assert token == _token(Structured([1, 2]))
+        assert token != _token(Structured([1, 3]))
+
+    def test_constraint_graph_token_is_structural(self):
+        from repro.csp.graph import ConstraintGraph, Variable
+
+        def graph(name, var_names):
+            g = ConstraintGraph(
+                [Variable(n, (0, 1)) for n in var_names], name=name
+            )
+            g.add_conflict(var_names[0], 0, var_names[1], 0)
+            return g
+
+        a = graph("first", ["x", "y"])
+        b = graph("second", ["p", "q"])  # same structure, different names
+        assert _token(a) == _token(b)
+        c = graph("third", ["x", "y"])
+        c.add_conflict("x", 1, "y", 1)
+        assert _token(a) != _token(c)  # extra edge changes the token
+
+    def test_derive_cache_key_module_level(self, tmp_path):
+        from repro.runtime.cache import derive_cache_key
+
+        key = derive_cache_key("serve", {"a": 1})
+        assert key == derive_cache_key("serve", {"a": 1})
+        assert key != derive_cache_key("serve", {"a": 2})
+        assert key != derive_cache_key("other", {"a": 1})
+        assert derive_cache_key("serve", {"a": object()}) is None
+
+    def test_get_expect_type_mismatch_is_a_miss(self, tmp_path):
+        cache = RunResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put(key, {"wrong": "type"})
+        assert cache.get(key, expect=RunResult) is None
+        assert not cache._path(key).exists()
+        result = RunResult(backend="x", workload="w", num_steps=1, total_spikes=0)
+        cache.put(key, result)
+        assert cache.get(key, expect=RunResult) == result

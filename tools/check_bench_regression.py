@@ -35,11 +35,13 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Tracked result files: name -> comparison strategy ("iss" | "csp" | "batched").
+#: Tracked result files: name -> comparison strategy
+#: ("iss" | "csp" | "batched" | "serve").
 BENCH_FILES = {
     "BENCH_iss.json": "iss",
     "BENCH_csp.json": "csp",
     "BENCH_batched.json": "batched",
+    "BENCH_serve.json": "serve",
 }
 
 
@@ -65,6 +67,20 @@ class Comparator:
         if drop > self.max_drop:
             self.failures.append(
                 f"{label}: {metric} dropped {drop:.0%} "
+                f"(baseline {baseline:.4g} -> current {current:.4g}, "
+                f"allowed {self.max_drop:.0%})"
+            )
+
+    def check_lower(self, label: str, metric: str, baseline: float, current: float) -> None:
+        """Fail when a lower-is-better metric (e.g. latency) grew too much."""
+        self.checked += 1
+        if baseline <= 0:
+            self.notices.append(f"{label}: baseline {metric} is {baseline}; skipping")
+            return
+        growth = (current - baseline) / baseline
+        if growth > self.max_drop:
+            self.failures.append(
+                f"{label}: {metric} grew {growth:.0%} "
                 f"(baseline {baseline:.4g} -> current {current:.4g}, "
                 f"allowed {self.max_drop:.0%})"
             )
@@ -168,6 +184,54 @@ def compare_batched(baseline: dict, current: dict, cmp: Comparator) -> None:
         )
 
 
+def compare_serve(baseline: dict, current: dict, cmp: Comparator) -> None:
+    """Solve-service file: one record per load scenario.
+
+    ``solves_per_second`` is wall-clock (gated with the usual slack for
+    runner noise); ``latency_steps_p99``, ``solve_rate`` and
+    ``cache_hit_rate`` are fully deterministic for a seeded workload, so
+    any movement there is a real scheduling or dedup change.
+    """
+    for scenario, base in sorted(baseline.items()):
+        cur = current.get(scenario)
+        if cur is None:
+            cmp.skip(f"BENCH_serve[{scenario}]: missing from current run; skipping")
+            continue
+        config_keys = (
+            "capacity",
+            "num_clients",
+            "requests_per_client",
+            "unique_instances",
+            "mean_interarrival_steps",
+            "max_steps",
+            "num_neurons",
+            "scenario",
+        )
+        if any(base.get(k) != cur.get(k) for k in config_keys):
+            cmp.skip(
+                f"BENCH_serve[{scenario}]: run configuration differs from baseline; "
+                "skipping comparison"
+            )
+            continue
+        label = f"BENCH_serve[{scenario}]"
+        cmp.check(
+            label,
+            "solves_per_second",
+            base.get("solves_per_second", 0),
+            cur.get("solves_per_second", 0),
+        )
+        cmp.check(label, "solve_rate", base.get("solve_rate", 0), cur.get("solve_rate", 0))
+        cmp.check(
+            label, "cache_hit_rate", base.get("cache_hit_rate", 0), cur.get("cache_hit_rate", 0)
+        )
+        cmp.check_lower(
+            label,
+            "latency_steps_p99",
+            base.get("latency_steps_p99", 0),
+            cur.get("latency_steps_p99", 0),
+        )
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -204,6 +268,8 @@ def main(argv) -> int:
             compare_iss(baseline, current, cmp)
         elif kind == "batched":
             compare_batched(baseline, current, cmp)
+        elif kind == "serve":
+            compare_serve(baseline, current, cmp)
         else:
             compare_csp(baseline, current, cmp)
 
