@@ -40,12 +40,20 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..runtime.slots import SlotAdmission, SlotDecision, SlotEngine, SlotRow
 from .config import CSPConfig
 from .graph import ClampsLike, ConstraintGraph
-from .solver import CSPSolveResult, SpikingCSPSolver, _empty_result, decode_assignment
+from .solver import (
+    CSP_SLOT_DECODER,
+    CSPSolveResult,
+    SpikingCSPSolver,
+    _empty_decode,
+    _empty_result,
+)
 
 __all__ = [
     "PortfolioConfig",
+    "RestartPortfolioPolicy",
     "derive_attempt_seed",
     "luby",
     "solve_instances_portfolio",
@@ -154,12 +162,15 @@ class PortfolioConfig:
 
 @dataclass
 class _Attempt:
-    """One live batch row: an attempt of one instance."""
+    """Policy payload of one live batch row: an attempt of one instance.
+
+    The row's step budget and admission offset live on the engine's
+    :class:`~repro.runtime.slots.SlotRow`; the payload only keys the
+    attempt back to its instance accounting.
+    """
 
     instance: int
     attempt: int  # 1-based per-instance attempt index
-    budget: int  # local step budget
-    offset: int  # global steps completed when the attempt started
 
 
 @dataclass
@@ -231,7 +242,6 @@ def solve_instances_portfolio(
     sizes = {graph.num_neurons for graph, _ in instances}
     if len(sizes) != 1:
         raise ValueError(f"instances have differing neuron counts: {sorted(sizes)}")
-    num_neurons = next(iter(sizes))
     num_slots = len(instances) if slots is None else max(1, int(slots))
 
     states: List[_InstanceState] = []
@@ -243,230 +253,31 @@ def solve_instances_portfolio(
     if max_steps <= 0:
         return [_empty_result(state.graph, state.clamps) for state in states]
 
-    # Instances sharing one graph object share one synapse build so the
-    # batch engine keeps its shared-matrix fast path across refills.
-    shared_synapses: Dict[int, object] = {}
+    engine = SlotEngine(
+        decoder=CSP_SLOT_DECODER,
+        window=max(1, cfg.decode_window),
+        check_interval=check_interval,
+        extendable=True,
+    )
+    policy = RestartPortfolioPolicy(
+        states,
+        config=cfg,
+        portfolio=pcfg,
+        backend=backend,
+        seeds=seeds,
+        num_slots=num_slots,
+        max_steps=max_steps,
+    )
+    engine.run(policy, max_steps=max_steps)
+    policy.finalize(engine)
 
-    def build_attempt(instance: int, global_step: int) -> Tuple[_Attempt, object]:
-        """A fresh attempt network for ``instance``, starting after ``global_step``."""
-        state = states[instance]
-        state.launched += 1
-        attempt_index = state.launched
-        if attempt_index == 1 and seeds is not None:
-            attempt_seed = int(seeds[instance])
-        else:
-            attempt_seed = derive_attempt_seed(pcfg.seed, instance, attempt_index)
-        if pcfg.restarts:
-            budget = min(pcfg.attempt_budget(attempt_index), max_steps)
-        else:
-            budget = max_steps
-        attempt_cfg = pcfg.attempt_config(cfg, attempt_index)
-        solver = SpikingCSPSolver(
-            state.graph,
-            attempt_cfg,
-            backend=backend,
-            seed=attempt_seed,
-            synapses=shared_synapses.get(id(state.graph)),
-        )
-        shared_synapses[id(state.graph)] = solver.synapses
-        network = solver.build_network(state.clamps)
-        # Stamp the attempt's start offset into the drive spec so the
-        # batched provider replays the standalone anneal phase sequence.
-        network.external_input.drive_spec.step_offset = global_step
-        state.live += 1
-        attempt = _Attempt(
-            instance=instance, attempt=attempt_index, budget=budget, offset=global_step
-        )
-        return attempt, network
-
-    def eligible(instance: int) -> bool:
-        state = states[instance]
-        if state.solved:
-            return False
-        if pcfg.max_attempts and state.launched >= pcfg.max_attempts:
-            return False
-        if pcfg.max_parallel and state.live >= pcfg.max_parallel:
-            return False
-        return True
-
-    def pick_refills(count: int, global_step: int) -> List[Tuple[_Attempt, object]]:
-        """Launch up to ``count`` attempts for unsolved instances.
-
-        Round-robin by launched-attempt count (fewest first, ties by
-        instance index) — deterministic, and it spreads the freed
-        capacity over the whole unsolved pool before racing extra
-        attempts on any one instance.  With restarts disabled only
-        *first* attempts are dispatched (instances beyond the initial
-        wave still get their one attempt when a slot frees up; a late
-        wave sees whatever global steps remain).
-        """
-        if global_step >= max_steps:
-            return []
-        launched: List[Tuple[_Attempt, object]] = []
-        while len(launched) < count:
-            candidates = [
-                i
-                for i in range(len(states))
-                if eligible(i) and (pcfg.restarts or states[i].launched == 0)
-            ]
-            if not candidates:
-                break
-            chosen = min(candidates, key=lambda i: (states[i].launched, i))
-            launched.append(build_attempt(chosen, global_step))
-        return launched
-
-    # ------------------------------------------------------------------ #
-    # Initial wave: attempt 1 of the first `num_slots` instances, then
-    # restart refills if slots remain.
-    # ------------------------------------------------------------------ #
-    rows: List[_Attempt] = []
-    networks: List[object] = []
-    for instance in range(min(num_slots, len(states))):
-        attempt, network = build_attempt(instance, 0)
-        rows.append(attempt)
-        networks.append(network)
-    for attempt, network in pick_refills(num_slots - len(rows), 0):
-        rows.append(attempt)
-        networks.append(network)
-
-    from ..runtime.batch import BatchedNetwork
-    from ..runtime.drives import PortfolioAnnealedDrive, annealed_specs
-
-    def fresh_batch(nets: Sequence[object]) -> BatchedNetwork:
-        return BatchedNetwork.from_networks(
-            nets,
-            synapse_mode="exact",
-            batched_external=PortfolioAnnealedDrive(annealed_specs(nets)),
-        )
-
-    substeps = getattr(networks[0].population, "substeps_per_ms", 1)
-    updates_per_step = num_neurons * substeps
-    window = max(1, cfg.decode_window)
-    batch = fresh_batch(networks)
-
-    num_rows = len(rows)
-    history = np.zeros((window, num_rows, num_neurons), dtype=bool)
-    window_counts = np.zeros((num_rows, num_neurons), dtype=np.int64)
-    last_spike = np.full((num_rows, num_neurons), -1, dtype=np.int64)
-    row_spikes = np.zeros(num_rows, dtype=np.int64)
-    offsets = np.asarray([a.offset for a in rows], dtype=np.int64)
-    budgets = np.asarray([a.budget for a in rows], dtype=np.int64)
-
-    def finish_attempt(row: int, local_steps: int) -> None:
-        """Book a finished attempt's work into its instance state."""
-        attempt = rows[row]
-        state = states[attempt.instance]
-        state.live -= 1
-        state.attempt_steps.append(int(local_steps))
-        state.total_spikes += int(row_spikes[row])
-
-    def snapshot(row: int, local_steps: int, values: np.ndarray, decided: np.ndarray) -> None:
-        state = states[rows[row].instance]
-        state.steps = int(local_steps)
-        state.values, state.decided = values, decided
-
-    global_step = 0
-    unsolved = len(states)
-    row_index = np.arange(num_rows, dtype=np.int64)
-    while rows and global_step < max_steps and unsolved:
-        global_step += 1
-        fired = batch.step(global_step)
-        local = global_step - offsets  # per-row local step (1-based)
-        slot = local % window
-        window_counts -= history[slot, row_index]
-        history[slot, row_index] = fired
-        window_counts += fired
-        if fired.any():
-            fr, fc = np.nonzero(fired)
-            last_spike[fr, fc] = local[fr]
-            row_spikes += fired.sum(axis=1)
-
-        at_budget = local >= budgets
-        at_check = (local % check_interval == 0) | at_budget
-        if not (at_check.any() or global_step == max_steps):
-            continue
-
-        # ---- check point: decode, drop, refill ------------------------ #
-        keep: List[int] = []
-        for row, attempt in enumerate(rows):
-            state = states[attempt.instance]
-            if state.solved:
-                # Raced attempt of an instance another row already solved.
-                finish_attempt(row, int(local[row]))
-                continue
-            if not at_check[row]:
-                keep.append(row)
-                continue
-            values, decided = decode_assignment(
-                state.graph, window_counts[row], last_spike[row], state.clamps
-            )
-            if state.graph.is_solution(values, decided):
-                state.solved = True
-                unsolved -= 1
-                snapshot(row, int(local[row]), values, decided)
-                finish_attempt(row, int(local[row]))
-            elif at_budget[row]:
-                snapshot(row, int(local[row]), values, decided)
-                finish_attempt(row, int(local[row]))
-            else:
-                keep.append(row)
-        refills = (
-            pick_refills(num_slots - len(keep), global_step)
-            if unsolved and global_step < max_steps
-            else []
-        )
-        if len(keep) == len(rows) and not refills:
-            continue
-
-        # ---- apply the new batch composition -------------------------- #
-        new_rows = [rows[row] for row in keep] + [attempt for attempt, _ in refills]
-        new_nets = [network for _, network in refills]
-        if not new_rows:
-            rows = []
-            break
-        if keep:
-            if len(keep) < len(rows):
-                batch.retain(keep)
-            if new_nets:
-                batch.extend(new_nets)
-        else:
-            batch = fresh_batch(new_nets)
-        rows = new_rows
-        num_rows = len(rows)
-        pad = (len(refills), num_neurons)
-        history = np.concatenate([history[:, keep], np.zeros((window,) + pad, dtype=bool)], axis=1)
-        window_counts = np.concatenate([window_counts[keep], np.zeros(pad, dtype=np.int64)])
-        last_spike = np.concatenate([last_spike[keep], np.full(pad, -1, dtype=np.int64)])
-        row_spikes = np.concatenate([row_spikes[keep], np.zeros(len(refills), dtype=np.int64)])
-        offsets = np.asarray([a.offset for a in rows], dtype=np.int64)
-        budgets = np.asarray([a.budget for a in rows], dtype=np.int64)
-        row_index = np.arange(num_rows, dtype=np.int64)
-
-    # Trailing decode for attempts still live at the global budget,
-    # mirroring the batch loop's final decode.
-    for row, attempt in enumerate(rows):
-        state = states[attempt.instance]
-        local_steps = int(global_step - attempt.offset)
-        if not state.solved:
-            values, decided = decode_assignment(
-                state.graph, window_counts[row], last_spike[row], state.clamps
-            )
-            if state.graph.is_solution(values, decided):
-                state.solved = True
-                unsolved -= 1
-            snapshot(row, local_steps, values, decided)
-        finish_attempt(row, local_steps)
-
+    updates_per_step = engine.updates_per_step or 0
     results = []
     for state in states:
         if state.values is None:
-            # Never decoded (zero slots or zero budget): empty decode.
-            state.values, state.decided = decode_assignment(
-                state.graph,
-                np.zeros(state.graph.num_neurons, dtype=np.int64),
-                np.full(state.graph.num_neurons, -1, dtype=np.int64),
-                state.clamps,
-            )
+            # Never decoded (zero slots or zero budget): the canonical
+            # zero-step decode (clamps only).
+            state.values, state.decided = _empty_decode(state.graph, state.clamps)
             state.solved = state.graph.is_solution(state.values, state.decided)
         results.append(
             CSPSolveResult(
@@ -481,3 +292,186 @@ def solve_instances_portfolio(
             )
         )
     return results
+
+
+class RestartPortfolioPolicy:
+    """Slot policy implementing the adaptive restart portfolio.
+
+    The continuous-batching mechanics — stepping, local counters,
+    sliding windows, retain-before-extend recomposition — belong to
+    :class:`~repro.runtime.slots.SlotEngine`; this policy holds only
+    the *scheduling* intelligence: ``SeedSequence``-derived attempt
+    seeds (:func:`derive_attempt_seed`), Luby/geometric/fixed step
+    budgets, drive diversification, round-robin refilling of freed
+    slots, and racing with first-win cancellation (rows whose instance
+    another attempt already solved retire at the next checkpoint).
+    """
+
+    def __init__(
+        self,
+        states: Sequence[_InstanceState],
+        *,
+        config: CSPConfig,
+        portfolio: PortfolioConfig,
+        backend: str,
+        seeds: Optional[Sequence[int]],
+        num_slots: int,
+        max_steps: int,
+    ) -> None:
+        self._states = list(states)
+        self._cfg = config
+        self._pcfg = portfolio
+        self._backend = backend
+        self._seeds = seeds
+        self._num_slots = num_slots
+        self._max_steps = max_steps
+        #: Instances not yet solved; the run stops early when it hits 0.
+        self.unsolved = len(self._states)
+        # Instances sharing one graph object share one synapse build so
+        # the batch engine keeps its shared-matrix fast path across
+        # refills.
+        self._shared_synapses: Dict[int, object] = {}
+
+    # -- attempt construction ------------------------------------------ #
+    def _build_attempt(self, instance: int) -> SlotAdmission:
+        """A fresh attempt row for ``instance`` (offset stamped at admit)."""
+        state = self._states[instance]
+        pcfg = self._pcfg
+        state.launched += 1
+        attempt_index = state.launched
+        if attempt_index == 1 and self._seeds is not None:
+            attempt_seed = int(self._seeds[instance])
+        else:
+            attempt_seed = derive_attempt_seed(pcfg.seed, instance, attempt_index)
+        if pcfg.restarts:
+            budget = min(pcfg.attempt_budget(attempt_index), self._max_steps)
+        else:
+            budget = self._max_steps
+        attempt_cfg = pcfg.attempt_config(self._cfg, attempt_index)
+        solver = SpikingCSPSolver(
+            state.graph,
+            attempt_cfg,
+            backend=self._backend,
+            seed=attempt_seed,
+            synapses=self._shared_synapses.get(id(state.graph)),
+        )
+        self._shared_synapses[id(state.graph)] = solver.synapses
+        network = solver.build_network(state.clamps)
+        state.live += 1
+        row = SlotRow(
+            graph=state.graph,
+            clamps=state.clamps,
+            budget=budget,
+            payload=_Attempt(instance=instance, attempt=attempt_index),
+        )
+        return row, network
+
+    def _eligible(self, instance: int) -> bool:
+        state = self._states[instance]
+        pcfg = self._pcfg
+        if state.solved:
+            return False
+        if pcfg.max_attempts and state.launched >= pcfg.max_attempts:
+            return False
+        if pcfg.max_parallel and state.live >= pcfg.max_parallel:
+            return False
+        return True
+
+    def _pick_refills(self, count: int, global_step: int) -> List[SlotAdmission]:
+        """Launch up to ``count`` attempts for unsolved instances.
+
+        Round-robin by launched-attempt count (fewest first, ties by
+        instance index) — deterministic, and it spreads the freed
+        capacity over the whole unsolved pool before racing extra
+        attempts on any one instance.  With restarts disabled only
+        *first* attempts are dispatched (instances beyond the initial
+        wave still get their one attempt when a slot frees up; a late
+        wave sees whatever global steps remain).
+        """
+        if global_step >= self._max_steps:
+            return []
+        pcfg = self._pcfg
+        launched: List[SlotAdmission] = []
+        while len(launched) < count:
+            candidates = [
+                i
+                for i in range(len(self._states))
+                if self._eligible(i) and (pcfg.restarts or self._states[i].launched == 0)
+            ]
+            if not candidates:
+                break
+            chosen = min(candidates, key=lambda i: (self._states[i].launched, i))
+            launched.append(self._build_attempt(chosen))
+        return launched
+
+    # -- accounting ----------------------------------------------------- #
+    def _finish_attempt(self, attempt: _Attempt, local_steps: int, spikes: int) -> None:
+        """Book a finished attempt's work into its instance state."""
+        state = self._states[attempt.instance]
+        state.live -= 1
+        state.attempt_steps.append(int(local_steps))
+        state.total_spikes += int(spikes)
+
+    def _snapshot(self, attempt: _Attempt, local_steps: int, values, decided) -> None:
+        state = self._states[attempt.instance]
+        state.steps = int(local_steps)
+        state.values, state.decided = values, decided
+
+    # -- SlotPolicy ----------------------------------------------------- #
+    def initial_admissions(self, engine: SlotEngine) -> List[SlotAdmission]:
+        """Attempt 1 of the first ``num_slots`` instances, then restart
+        refills if slots remain."""
+        admissions = [
+            self._build_attempt(instance)
+            for instance in range(min(self._num_slots, len(self._states)))
+        ]
+        admissions.extend(self._pick_refills(self._num_slots - len(admissions), 0))
+        return admissions
+
+    def on_checkpoint(self, checkpoint) -> SlotDecision:
+        engine = checkpoint.engine
+        keep: List[int] = []
+        for row_index, row in enumerate(engine.rows):
+            attempt = row.payload
+            state = self._states[attempt.instance]
+            local_steps = int(checkpoint.local[row_index])
+            if state.solved:
+                # Raced attempt of an instance another row already solved.
+                self._finish_attempt(attempt, local_steps, engine.row_spikes[row_index])
+                continue
+            if not checkpoint.at_check[row_index]:
+                keep.append(row_index)
+                continue
+            decode = engine.decode_row(row_index)
+            if decode.solved:
+                state.solved = True
+                self.unsolved -= 1
+                self._snapshot(attempt, local_steps, decode.values, decode.decided)
+                self._finish_attempt(attempt, local_steps, engine.row_spikes[row_index])
+            elif checkpoint.at_budget[row_index]:
+                self._snapshot(attempt, local_steps, decode.values, decode.decided)
+                self._finish_attempt(attempt, local_steps, engine.row_spikes[row_index])
+            else:
+                keep.append(row_index)
+        refills = (
+            self._pick_refills(self._num_slots - len(keep), checkpoint.step)
+            if self.unsolved
+            else []
+        )
+        return SlotDecision(keep=keep, admissions=refills, stop=not self.unsolved)
+
+    def finalize(self, engine: SlotEngine) -> None:
+        """Trailing decode for attempts still live at the global budget,
+        mirroring the one-shot loop's final decode."""
+        local = engine.local_steps()
+        for row_index, row in enumerate(engine.rows):
+            attempt = row.payload
+            state = self._states[attempt.instance]
+            local_steps = int(local[row_index])
+            if not state.solved:
+                decode = engine.decode_row(row_index)
+                if decode.solved:
+                    state.solved = True
+                    self.unsolved -= 1
+                self._snapshot(attempt, local_steps, decode.values, decode.decided)
+            self._finish_attempt(attempt, local_steps, engine.row_spikes[row_index])

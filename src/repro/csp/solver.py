@@ -351,6 +351,28 @@ class _BatchEntry:
     network: SNNNetwork
 
 
+class _CSPSlotDecoder:
+    """Constraint-graph decode adapter for the runtime slot engine.
+
+    Rows carry their :class:`ConstraintGraph` and resolved clamps; the
+    engine hands back the row plus its sliding-window state, and this
+    adapter runs the canonical :func:`decode_assignment` + solution
+    test.  One instance serves every CSP-layer engine (the decoder is
+    stateless).
+    """
+
+    def decode(self, row, window_counts, last_spike):
+        from ..runtime.slots import SlotDecode
+
+        values, decided = decode_assignment(row.graph, window_counts, last_spike, row.clamps)
+        return SlotDecode(
+            values=values, decided=decided, solved=row.graph.is_solution(values, decided)
+        )
+
+
+CSP_SLOT_DECODER = _CSPSlotDecoder()
+
+
 def _run_batch(
     entries: Sequence[_BatchEntry],
     config: CSPConfig,
@@ -360,10 +382,12 @@ def _run_batch(
 ) -> List[CSPSolveResult]:
     """Advance all entries together, shrinking the batch as replicas solve.
 
-    This is the Sudoku solver's batch loop, generalised: the per-replica
-    sliding windows, recency bookkeeping, decode points and stop
-    conditions are identical, so a batch of one reproduces the sequential
-    solver exactly and a batch of ``B`` reproduces ``B`` sequential runs.
+    This is the Sudoku solver's batch loop, generalised, now expressed
+    as the one-shot policy of the shared continuous-batching engine
+    (:class:`repro.runtime.slots.SlotEngine`): the per-replica sliding
+    windows, recency bookkeeping, decode points and stop conditions are
+    the engine's, so a batch of one reproduces the sequential solver
+    exactly and a batch of ``B`` reproduces ``B`` sequential runs.
 
     Three layers of the batched runtime keep the loop fast without
     touching the results (replicas are independent, so none of them can
@@ -374,104 +398,66 @@ def _run_batch(
     * the WTA weights are small exact Q15.16 values, so propagation runs
       on the integer CSR kernel (:mod:`repro.runtime.batch`);
     * replicas whose decoded assignment is already a solution are
-      *dropped from the live batch* (:meth:`BatchedNetwork.retain`), so
-      late steps only advance the still-unsolved instances instead of
-      merely masking the solved ones out of the statistics.
-    """
-    from ..runtime.batch import BatchedNetwork
-    from ..runtime.drives import compile_batched_external
+      *dropped from the live batch* (the engine's recomposition over
+      :meth:`BatchedNetwork.retain`), so late steps only advance the
+      still-unsolved instances instead of merely masking the solved
+      ones out of the statistics.
 
-    # Guard the degenerate shapes before any batch state is allocated: an
-    # empty entry list has nothing to stack, and a non-positive step
-    # budget would previously fall through the loop and decode an
-    # all-zero window (equivalent to, but far more expensive than, the
-    # explicit empty decode below).
+    Degenerate shapes never allocate a batch: an empty entry list has
+    nothing to stack, and a non-positive step budget short-circuits in
+    :meth:`SlotEngine.run`, leaving every entry to the canonical
+    zero-step decode below.
+    """
+    from ..runtime.slots import OneShotPolicy, SlotEngine, SlotRow
+
     if not entries:
         return []
-    if max_steps <= 0:
-        return [_empty_result(entry.graph, entry.clamps) for entry in entries]
-    num = len(entries)
-    num_neurons = entries[0].graph.num_neurons
-    networks = [entry.network for entry in entries]
-    batch = BatchedNetwork.from_networks(
-        networks,
-        synapse_mode="exact",
-        batched_external=compile_batched_external(networks),
+    engine = SlotEngine(
+        decoder=CSP_SLOT_DECODER,
+        window=max(1, config.decode_window),
+        check_interval=check_interval,
+        extendable=False,
     )
-    substeps = getattr(entries[0].network.population, "substeps_per_ms", 1)
+    policy = OneShotPolicy(
+        [
+            (
+                SlotRow(
+                    graph=entry.graph, clamps=entry.clamps, budget=max_steps, payload=index
+                ),
+                entry.network,
+            )
+            for index, entry in enumerate(entries)
+        ]
+    )
+    engine.run(policy, max_steps=max_steps)
 
-    window = max(1, config.decode_window)
-    history = np.zeros((window, num, num_neurons), dtype=bool)
-    window_counts = np.zeros((num, num_neurons), dtype=np.int64)
-    last_spike_step = np.full((num, num_neurons), -1, dtype=np.int64)
-    total_spikes = np.zeros(num, dtype=np.int64)
-    solved = np.zeros(num, dtype=bool)
-    final_steps = np.zeros(num, dtype=np.int64)
-    values = [np.zeros(entry.graph.num_variables, dtype=np.int64) for entry in entries]
-    decided = [np.zeros(entry.graph.num_variables, dtype=bool) for entry in entries]
-    #: Original entry index of each live batch row.
-    live = np.arange(num, dtype=np.int64)
-
-    step = 0
-    for step in range(1, max_steps + 1):
-        fired = batch.step(step)  # (B_live, N)
-        slot = step % window
-        if live.size == num:
-            window_counts -= history[slot]
-            history[slot] = fired
-            window_counts += fired
-            if fired.any():
-                last_spike_step[fired] = step
-                total_spikes += fired.sum(axis=1)
-        else:
-            window_counts[live] -= history[slot, live]
-            history[slot, live] = fired
-            window_counts[live] += fired
-            if fired.any():
-                rows, cols = np.nonzero(fired)
-                last_spike_step[live[rows], cols] = step
-                total_spikes[live] += fired.sum(axis=1)
-        if step % check_interval == 0:
-            keep_rows = []
-            for row, b in enumerate(live):
-                entry = entries[b]
-                vals, dec = decode_assignment(
-                    entry.graph, window_counts[b], last_spike_step[b], entry.clamps
-                )
-                if entry.graph.is_solution(vals, dec):
-                    solved[b] = True
-                    final_steps[b] = step
-                    values[b], decided[b] = vals, dec
-                else:
-                    keep_rows.append(row)
-            if not keep_rows:
-                live = live[:0]
-                break
-            if len(keep_rows) != len(live):
-                batch.retain(keep_rows)
-                live = live[keep_rows]
-    for b in live:
-        entry = entries[b]
-        vals, dec = decode_assignment(
-            entry.graph, window_counts[b], last_spike_step[b], entry.clamps
-        )
-        solved[b] = entry.graph.is_solution(vals, dec)
-        final_steps[b] = step
-        values[b], decided[b] = vals, dec
-
-    return [
-        CSPSolveResult(
-            solved=bool(solved[b]),
-            steps=int(final_steps[b]),
-            values=values[b],
-            decided=decided[b],
-            total_spikes=int(total_spikes[b]),
-            neuron_updates=int(final_steps[b]) * num_neurons * substeps,
+    results: List[Optional[CSPSolveResult]] = [None] * len(entries)
+    updates_per_step = engine.updates_per_step or 0
+    for outcome in policy.outcomes:
+        results[outcome.row.payload] = CSPSolveResult(
+            solved=outcome.decode.solved,
+            steps=outcome.local_steps,
+            values=outcome.decode.values,
+            decided=outcome.decode.decided,
+            total_spikes=outcome.spikes,
+            neuron_updates=outcome.local_steps * updates_per_step,
             attempts=1,
-            attempt_steps=(int(final_steps[b]),),
+            attempt_steps=(outcome.local_steps,),
         )
-        for b in range(num)
+    # Entries with no outcome never stepped (max_steps <= 0): the
+    # zero-step decode, centralised in the engine's empty window.
+    return [
+        result if result is not None else _empty_result(entry.graph, entry.clamps)
+        for entry, result in zip(entries, results)
     ]
+
+
+def _empty_decode(graph: ConstraintGraph, clamps: ClampsLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode of the canonical zero-step window (clamps only)."""
+    from ..runtime.slots import SlotEngine
+
+    window_counts, last_spike = SlotEngine.empty_window(graph.num_neurons)
+    return decode_assignment(graph, window_counts, last_spike, clamps)
 
 
 def _empty_result(graph: ConstraintGraph, clamps: ClampsLike) -> CSPSolveResult:
@@ -480,15 +466,12 @@ def _empty_result(graph: ConstraintGraph, clamps: ClampsLike) -> CSPSolveResult:
     Bit-identical to what the batch loop produces when the step budget is
     exhausted before the first step — all-zero spike counts, so only
     clamped variables decode (and a fully clamped consistent instance
-    counts as solved).
+    counts as solved).  The window itself comes from
+    :meth:`repro.runtime.slots.SlotEngine.empty_window`, the single
+    owner of the zero-step semantics shared with the portfolio and
+    serve layers.
     """
-    num_neurons = graph.num_neurons
-    values, decided = decode_assignment(
-        graph,
-        np.zeros(num_neurons, dtype=np.int64),
-        np.full(num_neurons, -1, dtype=np.int64),
-        clamps,
-    )
+    values, decided = _empty_decode(graph, clamps)
     return CSPSolveResult(
         solved=graph.is_solution(values, decided),
         steps=0,

@@ -20,6 +20,13 @@ This package makes *batches* of independent simulations the unit of work
     Drive compilation: per-replica external-input closures compiled into
     one vectorised ``(B, N)`` provider with bit-identical per-replica
     noise streams (pregenerated in chunks), feeding the batch engine.
+:mod:`repro.runtime.slots`
+    :class:`SlotEngine`, the continuous-batching core shared by the
+    one-shot solver batches, the restart portfolio and the solve
+    service: the global step loop, per-row local step counters,
+    sliding-window decode bookkeeping and retain-before-extend batch
+    recomposition, with refill behaviour delegated to a pluggable
+    :class:`SlotPolicy`.
 :mod:`repro.runtime.sweep`
     :class:`SweepExecutor`, fanning non-vectorisable ISA-level runs out
     over a process pool with deterministic per-task seeding (with a
@@ -50,6 +57,17 @@ from .drives import (
     PortfolioAnnealedDrive,
     ScaledNoiseSpec,
     compile_batched_external,
+)
+from .slots import (
+    OneShotPolicy,
+    SlotCheckpoint,
+    SlotDecision,
+    SlotDecode,
+    SlotDecoder,
+    SlotEngine,
+    SlotOutcome,
+    SlotPolicy,
+    SlotRow,
 )
 from .sweep import SweepExecutor, SweepTask, derive_task_seed
 from .workloads import (
@@ -84,6 +102,15 @@ __all__ = [
     "PortfolioAnnealedDrive",
     "ScaledNoiseSpec",
     "compile_batched_external",
+    "OneShotPolicy",
+    "SlotCheckpoint",
+    "SlotDecision",
+    "SlotDecode",
+    "SlotDecoder",
+    "SlotEngine",
+    "SlotOutcome",
+    "SlotPolicy",
+    "SlotRow",
     "SweepExecutor",
     "SweepTask",
     "derive_task_seed",

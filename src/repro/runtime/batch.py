@@ -892,8 +892,13 @@ class BatchedNetwork:
         masks, synapse stacks, external providers) is sliced down so
         subsequent steps only advance the surviving replicas; each
         survivor's trajectory is unaffected (replicas are independent).
-        The batched constraint solver uses this to stop advancing
-        instances that already converged.
+
+        **Layering seam.**  Within ``src/repro`` the sanctioned caller
+        is :meth:`repro.runtime.slots.SlotEngine.recompose`, which owns
+        the retain-before-extend composition order and its edge guards
+        for the solver, portfolio and serve layers alike; direct calls
+        from outside ``repro/runtime/`` are rejected by
+        ``tools/check_layering.py``.
         """
         keep = np.asarray(keep, dtype=np.int64)
         if keep.size == 0:
@@ -952,9 +957,13 @@ class BatchedNetwork:
         ``batched_external`` provider is set it must support
         ``extend(networks)`` — the portfolio drive of
         :mod:`repro.runtime.drives` does; compiled drives without it
-        refuse.  The restart-portfolio engine uses this, together with
-        :meth:`retain`, to refill freed batch slots with restart attempts
-        mid-run.
+        refuse.
+
+        **Layering seam.**  As with :meth:`retain`, the sanctioned
+        ``src/repro`` caller is
+        :meth:`repro.runtime.slots.SlotEngine.recompose` (enforced by
+        ``tools/check_layering.py``); the slot engine uses the pair to
+        refill freed batch slots with fresh admissions mid-run.
         """
         if not networks:
             return

@@ -55,22 +55,22 @@ import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..csp.config import CSPConfig
 from ..csp.graph import ClampsLike, ConstraintGraph
-from ..csp.solver import CSPSolveResult, SpikingCSPSolver, _empty_result, decode_assignment
-from ..runtime.batch import BatchedNetwork
+from ..csp.solver import CSP_SLOT_DECODER, CSPSolveResult, SpikingCSPSolver, _empty_result
 from ..runtime.cache import RunResultCache, derive_cache_key
-from ..runtime.drives import PortfolioAnnealedDrive, annealed_specs
+from ..runtime.slots import SlotAdmission, SlotCheckpoint, SlotDecision, SlotEngine, SlotRow
 from ..runtime.sweep import derive_task_seed
 from .metrics import MetricsRecorder, MetricsSnapshot
 
 __all__ = [
     "IncompatibleInstanceError",
     "LoadShedError",
+    "ServePolicy",
     "ServeResult",
     "ServeStatus",
     "ServiceClosedError",
@@ -189,14 +189,25 @@ class _Ticket:
     state: str = "queued"
 
 
-@dataclass
-class _Row:
-    """One live batch row."""
+class ServePolicy:
+    """Slot policy of the serve scheduler.
 
-    ticket: _Ticket
-    #: Global step count when the row was admitted (its local step 0).
-    offset: int
-    budget: int
+    The continuous-batching mechanics live in the shared
+    :class:`~repro.runtime.slots.SlotEngine`; this policy is the serve
+    layer's checkpoint brain — decode-and-finish, deadline expiry,
+    abandoned-ticket cleanup and queue-driven refilling — all of which
+    stays on the :class:`SolveService` (admission fairness, dedup and
+    metrics are service concerns, not engine concerns).
+    """
+
+    def __init__(self, service: "SolveService") -> None:
+        self._service = service
+
+    def initial_admissions(self, engine: SlotEngine) -> List[SlotAdmission]:
+        return self._service._take_admissions(self._service._capacity)
+
+    def on_checkpoint(self, checkpoint: SlotCheckpoint) -> SlotDecision:
+        return self._service._checkpoint_decision(checkpoint)
 
 
 class SolveService:
@@ -283,20 +294,17 @@ class SolveService:
         self._queued = 0
         self._inflight: Dict[str, _Ticket] = {}
 
-        # Batch state (portfolio-loop mechanics; allocated lazily).
-        self._rows: List[_Row] = []
-        self._batch: Optional[BatchedNetwork] = None
-        self._step = 0
+        # Batch state: the shared continuous-batching engine plus the
+        # serve policy adapter (checkpoints route back through
+        # :meth:`_checkpoint_decision`).
         self._num_neurons: Optional[int] = None
-        self._updates_per_step: Optional[int] = None
-        self._window = max(1, self._config.decode_window)
-        self._history: Optional[np.ndarray] = None
-        self._window_counts: Optional[np.ndarray] = None
-        self._last_spike: Optional[np.ndarray] = None
-        self._row_spikes: Optional[np.ndarray] = None
-        self._offsets = np.zeros(0, dtype=np.int64)
-        self._budgets = np.zeros(0, dtype=np.int64)
-        self._row_index = np.zeros(0, dtype=np.int64)
+        self._engine = SlotEngine(
+            decoder=CSP_SLOT_DECODER,
+            window=max(1, self._config.decode_window),
+            check_interval=self._check_interval,
+            extendable=True,
+        )
+        self._policy = ServePolicy(self)
 
         # Dedup / sharing caches.
         self._memo: "OrderedDict[str, CSPSolveResult]" = OrderedDict()
@@ -492,15 +500,20 @@ class SolveService:
         """A point-in-time snapshot of the request ledger."""
         return self._metrics.snapshot(
             queue_depth=self._queued,
-            running=len(self._rows),
+            running=self._engine.num_rows,
             capacity=self._capacity,
             now=self._now(),
         )
 
     @property
+    def _step(self) -> int:
+        """The engine's global step count (the service's time base)."""
+        return self._engine.global_step
+
+    @property
     def step(self) -> int:
         """Global scheduler steps advanced so far."""
-        return self._step
+        return self._engine.global_step
 
     @property
     def capacity(self) -> int:
@@ -704,14 +717,15 @@ class SolveService:
     # Batch-row construction (the bit-exactness-critical path)
     # ------------------------------------------------------------------ #
     def _build_network(self, ticket: _Ticket):
-        """A fresh solver network for one admission, offset-stamped.
+        """A fresh solver network for one admission.
 
         Graphs with identical structure share one synapse build (keyed
         by the structural digest, LRU-bounded), which also keeps the
         batch engine on its shared-matrix fast path for repeat
         instances.  Shared connectivity never changes results — the
         matrix values are a pure function of the structure and the
-        service-wide config.
+        service-wide config.  The admission offset (the bit-exactness
+        mechanism) is stamped by :meth:`SlotEngine.recompose`.
         """
         synapses = None
         if ticket.graph_digest is not None:
@@ -728,22 +742,14 @@ class SolveService:
             self._synapses.move_to_end(ticket.graph_digest)
             while len(self._synapses) > self._synapse_cache_size:
                 self._synapses.popitem(last=False)
-        network = solver.build_network(ticket.clamps)
-        # Stamp the admission offset into the drive spec so the batched
-        # provider replays the standalone anneal phase sequence (the
-        # portfolio engine's exactness mechanism).
-        network.external_input.drive_spec.step_offset = self._step
-        if self._updates_per_step is None:
-            substeps = getattr(network.population, "substeps_per_ms", 1)
-            self._updates_per_step = int(self._num_neurons) * int(substeps)
-        return network
+        return solver.build_network(ticket.clamps)
 
-    def _take_admissions(self, count: int) -> List[Tuple[_Row, Any]]:
+    def _take_admissions(self, count: int) -> List[SlotAdmission]:
         """Admit up to ``count`` queued tickets as fresh batch rows."""
         if count <= 0 or not self._queued:
             return []
         now = self._now()
-        taken: List[Tuple[_Row, Any]] = []
+        taken: List[SlotAdmission] = []
         while len(taken) < count:
             ticket = self._next_ticket()
             if ticket is None:
@@ -754,61 +760,14 @@ class SolveService:
                 continue
             ticket.state = "running"
             network = self._build_network(ticket)
-            taken.append((_Row(ticket=ticket, offset=self._step, budget=ticket.max_steps), network))
-        return taken
-
-    def _ensure_arrays(self) -> None:
-        if self._history is None:
-            n = int(self._num_neurons)
-            self._history = np.zeros((self._window, 0, n), dtype=bool)
-            self._window_counts = np.zeros((0, n), dtype=np.int64)
-            self._last_spike = np.full((0, n), -1, dtype=np.int64)
-            self._row_spikes = np.zeros(0, dtype=np.int64)
-
-    def _apply(self, keep: List[int], refills: List[Tuple[_Row, Any]]) -> None:
-        """Recompose the live batch: retain survivors, stack admissions.
-
-        Identical order of operations to the portfolio engine's
-        checkpoint (retain before extend, fresh batch when nothing
-        survives), so surviving rows' noise streams and network state
-        are untouched by their neighbours' departures and arrivals.
-        """
-        new_rows = [self._rows[i] for i in keep] + [row for row, _ in refills]
-        new_nets = [network for _, network in refills]
-        if not new_rows:
-            self._rows = []
-            self._batch = None
-            self._history = None
-            return
-        self._ensure_arrays()
-        if keep and self._batch is not None:
-            if len(keep) < len(self._rows):
-                self._batch.retain(keep)
-            if new_nets:
-                self._batch.extend(new_nets)
-        else:
-            self._batch = BatchedNetwork.from_networks(
-                new_nets,
-                synapse_mode="exact",
-                batched_external=PortfolioAnnealedDrive(annealed_specs(new_nets)),
+            row = SlotRow(
+                graph=ticket.graph,
+                clamps=ticket.clamps,
+                budget=ticket.max_steps,
+                payload=ticket,
             )
-        pad = (len(refills), int(self._num_neurons))
-        self._history = np.concatenate(
-            [self._history[:, keep], np.zeros((self._window,) + pad, dtype=bool)], axis=1
-        )
-        self._window_counts = np.concatenate(
-            [self._window_counts[keep], np.zeros(pad, dtype=np.int64)]
-        )
-        self._last_spike = np.concatenate(
-            [self._last_spike[keep], np.full(pad, -1, dtype=np.int64)]
-        )
-        self._row_spikes = np.concatenate(
-            [self._row_spikes[keep], np.zeros(len(refills), dtype=np.int64)]
-        )
-        self._rows = new_rows
-        self._offsets = np.asarray([r.offset for r in self._rows], dtype=np.int64)
-        self._budgets = np.asarray([r.budget for r in self._rows], dtype=np.int64)
-        self._row_index = np.arange(len(self._rows), dtype=np.int64)
+            taken.append((row, network))
+        return taken
 
     # ------------------------------------------------------------------ #
     # The scheduler
@@ -839,28 +798,29 @@ class SolveService:
 
     def _prune_cancelled_rows(self) -> None:
         """Free batch slots of rows every client has abandoned."""
-        if not self._rows:
+        rows = self._engine.rows
+        if not rows:
             return
-        keep = [i for i, row in enumerate(self._rows) if self._has_live_waiters(row.ticket)]
-        if len(keep) == len(self._rows):
+        keep = [i for i, row in enumerate(rows) if self._has_live_waiters(row.payload)]
+        if len(keep) == len(rows):
             return
         kept = set(keep)
-        for i, row in enumerate(self._rows):
+        for i, row in enumerate(rows):
             if i not in kept:
-                self._drop_ticket(row.ticket)
-        self._apply(keep, [])
+                self._drop_ticket(row.payload)
+        self._engine.recompose(keep, [])
 
     def _admit(self) -> None:
-        refills = self._take_admissions(self._capacity - len(self._rows))
+        refills = self._take_admissions(self._capacity - self._engine.num_rows)
         if refills:
-            self._apply(list(range(len(self._rows))), refills)
+            self._engine.admit(refills)
 
     async def _run(self) -> None:
         while True:
             self._release_step_waiters()
             self._prune_cancelled_rows()
             self._admit()
-            if not self._rows:
+            if not self._engine.num_rows:
                 if self._queued:
                     continue  # a fresh admission round will pick them up
                 if self._draining:
@@ -869,9 +829,7 @@ class SolveService:
                     # Idle with clients waiting on future steps: fast-
                     # forward the step clock (open-loop arrival times
                     # pass whether or not the batch is busy).
-                    target = self._step_heap[0][0]
-                    if target > self._step:
-                        self._step = target
+                    self._engine.fast_forward(self._step_heap[0][0])
                     continue
                 self._wake.clear()
                 if self._queued or self._step_heap or self._draining:
@@ -880,57 +838,45 @@ class SolveService:
                 continue
             for _ in range(self._yield_steps):
                 self._advance_step()
-                if not self._rows:
+                if not self._engine.num_rows:
                     break
             await asyncio.sleep(0)
         self._flush_step_waiters()
 
     def _advance_step(self) -> None:
-        """One global batch step plus the checkpoint bookkeeping.
+        """One engine step plus the serve-side checkpoint dispatch.
 
-        Structurally identical to the portfolio engine's inner loop —
-        local step counters, per-row sliding-window slots, local-step
-        recency — which is what makes every row bit-identical to its
-        standalone solve.
+        The stepping, local counters and sliding windows are the shared
+        :class:`SlotEngine`'s — which is what makes every served row
+        bit-identical to its standalone solve; the checkpoint decision
+        (finish, expire, refill) is :class:`ServePolicy`'s.
         """
-        self._step += 1
-        step = self._step
-        fired = self._batch.step(step)
-        local = step - self._offsets  # per-row local step (1-based)
-        slot = local % self._window
-        self._window_counts -= self._history[slot, self._row_index]
-        self._history[slot, self._row_index] = fired
-        self._window_counts += fired
-        if fired.any():
-            fr, fc = np.nonzero(fired)
-            self._last_spike[fr, fc] = local[fr]
-            self._row_spikes += fired.sum(axis=1)
-        self._metrics.record_step(len(self._rows))
-
-        at_budget = local >= self._budgets
-        at_check = (local % self._check_interval == 0) | at_budget
-        if not at_check.any():
+        checkpoint = self._engine.step()
+        self._metrics.record_step(self._engine.num_rows)
+        if checkpoint is None:
             return
+        decision = self._policy.on_checkpoint(checkpoint)
+        self._engine.recompose(decision.keep, decision.admissions)
 
+    def _checkpoint_decision(self, checkpoint) -> SlotDecision:
+        """Decide which rows finish, expire or survive one checkpoint."""
         now = self._now()
+        local = checkpoint.local
         keep: List[int] = []
-        for row, live in enumerate(self._rows):
-            ticket = live.ticket
-            if not at_check[row]:
+        for row, live in enumerate(self._engine.rows):
+            ticket = live.payload
+            if not checkpoint.at_check[row]:
                 keep.append(row)
                 continue
-            values, decided = decode_assignment(
-                ticket.graph, self._window_counts[row], self._last_spike[row], ticket.clamps
-            )
-            solved = ticket.graph.is_solution(values, decided)
-            if solved or at_budget[row]:
+            decode = self._engine.decode_row(row)
+            if decode.solved or checkpoint.at_budget[row]:
                 result = CSPSolveResult(
-                    solved=solved,
+                    solved=decode.solved,
                     steps=int(local[row]),
-                    values=values,
-                    decided=decided,
-                    total_spikes=int(self._row_spikes[row]),
-                    neuron_updates=int(local[row]) * int(self._updates_per_step),
+                    values=decode.values,
+                    decided=decode.decided,
+                    total_spikes=int(self._engine.row_spikes[row]),
+                    neuron_updates=int(local[row]) * int(self._engine.updates_per_step),
                     attempts=1,
                     attempt_steps=(int(local[row]),),
                 )
@@ -942,22 +888,18 @@ class SolveService:
             else:
                 self._drop_ticket(ticket)
         refills = self._take_admissions(self._capacity - len(keep))
-        if len(keep) == len(self._rows) and not refills:
-            return
-        self._apply(keep, refills)
+        return SlotDecision(keep=keep, admissions=refills)
 
     def _abort_outstanding(self) -> None:
         """Resolve every outstanding waiter with ``CANCELLED`` (abort path)."""
-        tickets: List[_Ticket] = [row.ticket for row in self._rows]
+        tickets: List[_Ticket] = [row.payload for row in self._engine.rows]
         for queue in self._queues.values():
             tickets.extend(t for t in queue if t.state == "queued")
         for ticket in tickets:
             for waiter in ticket.waiters:
                 self._resolve_waiter(waiter, ticket, ServeStatus.CANCELLED, None)
             self._drop_ticket(ticket)
-        self._rows = []
-        self._batch = None
-        self._history = None
+        self._engine.recompose([], [])
         self._queues.clear()
         self._rr.clear()
         self._queued = 0

@@ -1,0 +1,297 @@
+"""Cross-policy differential suite for the shared slot engine.
+
+The :class:`~repro.runtime.slots.SlotEngine` contract: *no interleaving
+of retire/admit decisions can perturb a surviving row*.  Whatever policy
+drives the checkpoints — the one-shot solver batches, the restart
+portfolio, the serve scheduler, or the adversarial chaos policy below —
+every row that runs to solution or budget must be bit-identical to a
+standalone ``SpikingCSPSolver(graph, cfg, seed).solve(clamps,
+max_steps=budget, check_interval=...)`` run: same solved flag, step
+count, decoded board and spike totals.
+
+The chaos policy randomises everything a policy controls (retirement of
+healthy rows mid-flight, admission timing, per-row budgets) from a seeded
+RNG, so the suite sweeps arbitrary recomposition interleavings while
+staying reproducible.
+"""
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.csp import SpikingCSPSolver, make_instance
+from repro.csp.config import CSPConfig
+from repro.csp.solver import CSP_SLOT_DECODER, decode_assignment
+from repro.runtime.slots import (
+    OneShotPolicy,
+    SlotDecision,
+    SlotEngine,
+    SlotRow,
+)
+
+CHECK_INTERVAL = 10
+
+
+@dataclass(frozen=True)
+class _Job:
+    """One admission's identity: an instance run under a seed and budget."""
+
+    name: str
+    seed: int
+    budget: int
+
+    def make(self):
+        graph, clamps = make_instance(
+            "coloring", seed=self.seed, num_vertices=8, num_colors=3
+        )
+        return graph, graph.resolve_clamps(clamps)
+
+
+@dataclass
+class _Finished:
+    local_steps: int
+    spikes: int
+    solved: bool
+    values: np.ndarray
+    decided: np.ndarray
+
+
+def _standalone(job: _Job, config: CSPConfig):
+    graph, clamps = job.make()
+    solver = SpikingCSPSolver(graph, config, backend="fixed", seed=job.seed)
+    return solver.solve(clamps, max_steps=job.budget, check_interval=CHECK_INTERVAL)
+
+
+class _ChaosPolicy:
+    """Adversarial scheduling: random victimisation and refill timing.
+
+    Rows that reach a verdict (solved, or local budget exhausted) are
+    recorded in :attr:`finished`; healthy rows are randomly dropped
+    mid-flight (the victims — nothing is recorded, the point is the harm
+    they *don't* do to their neighbours); freed capacity is refilled
+    from the job queue at RNG-chosen checkpoints.
+    """
+
+    def __init__(self, jobs: List[_Job], *, config: CSPConfig, slots: int, rng: random.Random):
+        self._queue = deque(jobs)
+        self._config = config
+        self._slots = slots
+        self._rng = rng
+        self.finished = {}
+        self.victims: List[_Job] = []
+
+    def _admit_one(self):
+        job = self._queue.popleft()
+        graph, clamps = job.make()
+        solver = SpikingCSPSolver(graph, self._config, backend="fixed", seed=job.seed)
+        row = SlotRow(graph=graph, clamps=clamps, budget=job.budget, payload=job)
+        return row, solver.build_network(clamps)
+
+    def initial_admissions(self, engine):
+        return [self._admit_one() for _ in range(min(self._slots, len(self._queue)))]
+
+    def on_checkpoint(self, checkpoint):
+        engine = checkpoint.engine
+        keep = []
+        for i, row in enumerate(engine.rows):
+            if checkpoint.at_check[i]:
+                decode = engine.decode_row(i)
+                if decode.solved or checkpoint.at_budget[i]:
+                    self.finished[row.payload] = _Finished(
+                        local_steps=int(checkpoint.local[i]),
+                        spikes=int(engine.row_spikes[i]),
+                        solved=decode.solved,
+                        values=decode.values,
+                        decided=decode.decided,
+                    )
+                    continue
+            if self._rng.random() < 0.15:
+                self.victims.append(row.payload)
+                continue
+            keep.append(i)
+        free = self._slots - len(keep)
+        admissions = []
+        while free > 0 and self._queue and self._rng.random() < 0.7:
+            admissions.append(self._admit_one())
+            free -= 1
+        return SlotDecision(keep=keep, admissions=admissions)
+
+
+class TestChaosDifferential:
+    @pytest.mark.parametrize("chaos_seed", [11, 23, 47])
+    def test_survivors_bit_identical_to_standalone(self, chaos_seed):
+        rng = random.Random(chaos_seed)
+        config = CSPConfig()
+        jobs = [
+            _Job(name=f"job{i}", seed=100 + i, budget=rng.choice([60, 90, 140, 200]))
+            for i in range(10)
+        ]
+        policy = _ChaosPolicy(jobs, config=config, slots=4, rng=rng)
+        engine = SlotEngine(
+            decoder=CSP_SLOT_DECODER,
+            window=max(1, config.decode_window),
+            check_interval=CHECK_INTERVAL,
+            extendable=True,
+        )
+        engine.run(policy, max_steps=4000)
+
+        # The run must have exercised the interesting interleavings:
+        # mid-flight victims, late admissions, and natural completions.
+        assert policy.finished, "no row ran to a verdict"
+        assert policy.victims, "chaos never victimised a row"
+        late = [job for job in policy.finished if policy.finished[job].local_steps > 0]
+        assert late
+
+        for job, outcome in policy.finished.items():
+            reference = _standalone(job, config)
+            assert outcome.solved == reference.solved, job
+            assert outcome.local_steps == reference.steps, job
+            assert outcome.spikes == reference.total_spikes, job
+            np.testing.assert_array_equal(outcome.values, reference.values)
+            np.testing.assert_array_equal(outcome.decided, reference.decided)
+
+    def test_staggered_admissions_have_nonzero_offsets(self):
+        rng = random.Random(3)
+        config = CSPConfig()
+        jobs = [
+            _Job(name=f"job{i}", seed=500 + i, budget=rng.choice([60, 120]))
+            for i in range(8)
+        ]
+        policy = _ChaosPolicy(jobs, config=config, slots=2, rng=rng)
+        engine = SlotEngine(
+            decoder=CSP_SLOT_DECODER,
+            window=max(1, config.decode_window),
+            check_interval=CHECK_INTERVAL,
+            extendable=True,
+        )
+        offsets = []
+        original = policy._admit_one
+
+        def tracking_admit():
+            row, network = original()
+            offsets.append(row)
+            return row, network
+
+        policy._admit_one = tracking_admit
+        engine.run(policy, max_steps=4000)
+        # Rows admitted at a later checkpoint carry that global step as
+        # their offset (stamped by the engine, not the policy).
+        assert any(row.offset > 0 for row in offsets)
+
+
+class TestOneShotPolicy:
+    def test_matches_sequential_solves(self):
+        config = CSPConfig()
+        jobs = [_Job(name=f"job{i}", seed=40 + i, budget=900) for i in range(5)]
+        admissions = []
+        for job in jobs:
+            graph, clamps = job.make()
+            solver = SpikingCSPSolver(graph, config, backend="fixed", seed=job.seed)
+            row = SlotRow(graph=graph, clamps=clamps, budget=job.budget, payload=job)
+            admissions.append((row, solver.build_network(clamps)))
+        policy = OneShotPolicy(admissions)
+        engine = SlotEngine(
+            decoder=CSP_SLOT_DECODER,
+            window=max(1, config.decode_window),
+            check_interval=CHECK_INTERVAL,
+            extendable=False,
+        )
+        engine.run(policy, max_steps=900)
+        assert len(policy.outcomes) == len(jobs)
+        by_job = {outcome.row.payload: outcome for outcome in policy.outcomes}
+        for job in jobs:
+            outcome = by_job[job]
+            reference = _standalone(job, config)
+            assert outcome.decode.solved == reference.solved
+            assert outcome.local_steps == reference.steps
+            assert outcome.spikes == reference.total_spikes
+            np.testing.assert_array_equal(outcome.decode.values, reference.values)
+
+
+class TestZeroStepGuards:
+    def test_zero_budget_never_builds_a_batch(self, monkeypatch):
+        """max_steps <= 0 must not admit rows or allocate a batch."""
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard breach
+            raise AssertionError("BatchedNetwork built for a zero-step run")
+
+        import repro.runtime.slots as slots_module
+
+        monkeypatch.setattr(slots_module.BatchedNetwork, "from_networks", boom)
+
+        calls = []
+
+        class CountingPolicy:
+            def initial_admissions(self, engine):  # pragma: no cover - guard breach
+                calls.append("admit")
+                return []
+
+            def on_checkpoint(self, checkpoint):  # pragma: no cover - guard breach
+                calls.append("checkpoint")
+                return SlotDecision(keep=[])
+
+        engine = SlotEngine(
+            decoder=CSP_SLOT_DECODER, window=4, check_interval=CHECK_INTERVAL
+        )
+        engine.run(CountingPolicy(), max_steps=0)
+        engine.run(CountingPolicy(), max_steps=-3)
+        assert calls == []
+        assert engine.num_rows == 0
+        assert engine.global_step == 0
+
+    def test_empty_window_decodes_clamps_only(self):
+        graph, clamps = make_instance("coloring", seed=9, num_vertices=6, num_colors=3)
+        resolved = graph.resolve_clamps(clamps)
+        window_counts, last_spike = SlotEngine.empty_window(graph.num_neurons)
+        values, decided = decode_assignment(graph, window_counts, last_spike, resolved)
+        clamped = {variable for variable, _, _ in resolved}
+        for variable in range(graph.num_variables):
+            assert decided[variable] == (variable in clamped)
+
+
+class TestRecomposeEdges:
+    def _engine_with_rows(self, count=3):
+        config = CSPConfig()
+        engine = SlotEngine(
+            decoder=CSP_SLOT_DECODER,
+            window=max(1, config.decode_window),
+            check_interval=CHECK_INTERVAL,
+            extendable=True,
+        )
+        admissions = []
+        for i in range(count):
+            job = _Job(name=f"row{i}", seed=70 + i, budget=300)
+            graph, clamps = job.make()
+            solver = SpikingCSPSolver(graph, config, backend="fixed", seed=job.seed)
+            row = SlotRow(graph=graph, clamps=clamps, budget=job.budget, payload=job)
+            admissions.append((row, solver.build_network(clamps)))
+        engine.admit(admissions)
+        return engine
+
+    def test_keep_all_without_admissions_is_a_no_op(self):
+        engine = self._engine_with_rows()
+        batch_before = engine._batch
+        rows_before = list(engine.rows)
+        engine.recompose([0, 1, 2], [])
+        assert engine._batch is batch_before
+        assert engine.rows == rows_before
+
+    def test_empty_recompose_tears_down(self):
+        engine = self._engine_with_rows()
+        engine.recompose([], [])
+        assert engine.num_rows == 0
+        assert engine._batch is None
+
+    def test_fast_forward_refuses_live_rows(self):
+        engine = self._engine_with_rows()
+        with pytest.raises(RuntimeError):
+            engine.fast_forward(50)
+        engine.recompose([], [])
+        engine.fast_forward(50)
+        assert engine.global_step == 50
+        engine.fast_forward(20)  # never rewinds
+        assert engine.global_step == 50

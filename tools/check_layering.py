@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Layering lint: batch recomposition belongs to the slot engine.
+
+``BatchedNetwork.retain`` / ``BatchedNetwork.extend`` are the two
+mutators whose calling convention carries the bit-exactness contract
+(retain survivors *before* extending with admissions, ``extend([])``
+no-op, fresh batch when nothing survives).  Those invariants are
+centralised in :meth:`repro.runtime.slots.SlotEngine.recompose`; a
+direct call anywhere else in ``src/repro`` re-opens the drift the
+PR-7 refactor closed.  This lint machine-enforces the single-owner
+seam: it fails when application code outside ``src/repro/runtime/``
+calls ``retain``/``extend`` on a batch.
+
+Detection is AST-based and deliberately conservative:
+
+* any ``<expr>.retain(...)`` call — ``retain`` is the batch engine's
+  vocabulary; nothing else in the tree defines it;
+* ``<expr>.extend(...)`` calls whose receiver looks like a batch
+  (``extend`` is also a list method, so the receiver's dotted source
+  must match ``batch``/``BatchedNetwork``, e.g. ``self._batch.extend``
+  or ``BatchedNetwork.extend``).
+
+Usage:  python tools/check_layering.py [src-root]
+        (defaults to src/repro; tests and tools are exempt — the
+        engine's own suites exercise the seam directly)
+
+Exit status: 0 when the layering holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The only package allowed to touch the batch mutators directly.
+ALLOWED_PREFIX = ("src", "repro", "runtime")
+
+#: Receiver pattern marking an ``.extend`` call as batch recomposition.
+_BATCH_RECEIVER_RE = re.compile(r"batch", re.IGNORECASE)
+
+
+def _dotted_source(node: ast.AST) -> str:
+    """The dotted-name source of a call receiver (best effort)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def check_file(path: Path) -> list:
+    """``(path, line, message)`` violations in one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    violations = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        method = node.func.attr
+        if method not in ("retain", "extend"):
+            continue
+        receiver = _dotted_source(node.func.value)
+        if method == "extend" and not _BATCH_RECEIVER_RE.search(receiver):
+            continue
+        violations.append(
+            (
+                path.relative_to(REPO_ROOT),
+                node.lineno,
+                f"{receiver or '<expr>'}.{method}(...) — batch recomposition is "
+                "owned by repro.runtime.slots.SlotEngine.recompose",
+            )
+        )
+    return violations
+
+
+def main(argv: list) -> int:
+    root = Path(argv[0]).resolve() if argv else REPO_ROOT / "src" / "repro"
+    if not root.is_dir():
+        print(f"check_layering: no such directory {root}", file=sys.stderr)
+        return 1
+    failures = []
+    checked = 0
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(REPO_ROOT).parts
+        if relative[: len(ALLOWED_PREFIX)] == ALLOWED_PREFIX:
+            continue
+        checked += 1
+        failures.extend(check_file(path))
+    if failures:
+        print("check_layering: direct batch retain/extend outside repro.runtime:", file=sys.stderr)
+        for source, line, message in failures:
+            print(f"  {source}:{line}: {message}", file=sys.stderr)
+        return 1
+    print(f"check_layering: OK ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
