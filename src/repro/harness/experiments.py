@@ -43,7 +43,14 @@ from ..snn import (
     render_ascii_raster,
     run_eighty_twenty,
 )
-from ..runtime import SweepExecutor, SweepTask, eighty_twenty_seed_sweep
+from ..runtime import (
+    SweepExecutor,
+    SweepReport,
+    SweepSpec,
+    SweepTask,
+    eighty_twenty_seed_sweep,
+    run_sweep_workload,
+)
 from ..sudoku import SNNSudokuSolver, generate_puzzle_set
 from ..sudoku.wta import connectivity_statistics
 from . import paper_data
@@ -66,6 +73,7 @@ __all__ = [
     "csp_solve_rate",
     "csp_portfolio_solve_rate",
     "eighty_twenty_seed_sweep",
+    "sweep_workload",
 ]
 
 
@@ -211,11 +219,13 @@ def table5_eighty_twenty(
         "seed": seed,
         "core_config": core_config,
     }
-    single, dual = executor.run(
-        _table5_system_task,
-        [{**params, "num_cores": 1}, {**params, "num_cores": 2}],
-        base_seed=seed,
-    )
+    single, dual = executor.execute(
+        SweepSpec(
+            fn=_table5_system_task,
+            param_sets=[{**params, "num_cores": 1}, {**params, "num_cores": 2}],
+            base_seed=seed,
+        )
+    ).results
     clock = (core_config or CoreConfig()).clock_hz
     return CycleExperimentResult(
         workload="eighty-twenty",
@@ -282,11 +292,16 @@ def table6_sudoku(
         "seed": seed,
         "core_config": core_config,
     }
-    single, dual = executor.run(
-        _table6_system_task,
-        [{**params, "num_cores": 1, "num_steps": num_steps}, {**params, "num_cores": 2}],
-        base_seed=seed,
-    )
+    single, dual = executor.execute(
+        SweepSpec(
+            fn=_table6_system_task,
+            param_sets=[
+                {**params, "num_cores": 1, "num_steps": num_steps},
+                {**params, "num_cores": 2},
+            ],
+            base_seed=seed,
+        )
+    ).results
     clock = (core_config or CoreConfig()).clock_hz
     speedup = single.system_cycles / dual.system_cycles if dual.system_cycles else 0.0
     return CycleExperimentResult(
@@ -396,7 +411,8 @@ def fig3_isi(
     ]
     variants: Dict[str, object] = {}
     rasters = {}
-    for name, raster, data in executor.run(_fig3_variant_task, param_sets):
+    report = executor.execute(SweepSpec(fn=_fig3_variant_task, param_sets=param_sets))
+    for name, raster, data in report.results:
         rasters[name] = raster
         variants[name] = data
     reference_counts = variants["double precision"]["counts"]
@@ -603,3 +619,22 @@ def csp_portfolio_solve_rate(
         summary["fixed_neuron_updates"] = int(sum(r.neuron_updates for r in fixed_results))
         summary["fixed_results"] = fixed_results
     return summary
+
+
+def sweep_workload(
+    name: str,
+    config: object = None,
+    *,
+    executor: Optional[SweepExecutor] = None,
+    cache: object = False,
+    **overrides: object,
+) -> SweepReport:
+    """Run a registered sweep workload by name and return its report.
+
+    Thin harness-facing passthrough to
+    :func:`repro.runtime.registry.run_sweep_workload`, so experiment
+    scripts resolve the pooled/batched workloads through the registry
+    (``sweep_workload("pooled-csp", count=16)``) instead of importing
+    each driver function ad hoc.
+    """
+    return run_sweep_workload(name, config, executor=executor, cache=cache, **overrides)

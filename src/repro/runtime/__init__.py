@@ -28,13 +28,21 @@ This package makes *batches* of independent simulations the unit of work
     recomposition, with refill behaviour delegated to a pluggable
     :class:`SlotPolicy`.
 :mod:`repro.runtime.sweep`
-    :class:`SweepExecutor`, fanning non-vectorisable ISA-level runs out
-    over a process pool with deterministic per-task seeding (with a
-    warned serial fallback when the task function cannot be pickled).
+    :class:`SweepExecutor`, the work-stealing sweep fabric: workers pull
+    chunked task leases from a shared queue (leases expire and are
+    reassigned when a worker dies or stalls), completed tasks land in
+    the :class:`RunResultCache` for crash-tolerant resume, and every
+    sweep is described by a typed :class:`SweepSpec` and answered with a
+    :class:`SweepReport` (with a warned serial fallback when the task
+    function cannot be pickled).
 :mod:`repro.runtime.workloads`
     Sweep drivers for the paper's workloads: batched 80-20 seed sweeps
     plus pooled Sudoku and constraint-solver (``repro.csp``) solve-rate
     sweeps.
+:mod:`repro.runtime.registry`
+    The typed workload registry: ``run_sweep_workload(name, config)``
+    resolves the four pooled/batched sweep drivers behind one
+    ``name -> typed config -> SweepReport`` entry point.
 """
 
 from .backends import (
@@ -69,7 +77,15 @@ from .slots import (
     SlotPolicy,
     SlotRow,
 )
-from .sweep import SweepExecutor, SweepTask, derive_task_seed
+from .sweep import (
+    SweepExecutor,
+    SweepReport,
+    SweepSpec,
+    SweepTask,
+    SweepTaskRecord,
+    derive_task_seed,
+    sweep_task_key,
+)
 from .workloads import (
     SeedSweepResult,
     batched_thalamic_provider,
@@ -79,6 +95,18 @@ from .workloads import (
     pooled_csp_sweep,
     pooled_sudoku_sweep,
     run_many_on_backend,
+    serve_load_sweep,
+)
+from .registry import (
+    CSPPortfolioSweepConfig,
+    PooledCSPSweepConfig,
+    PooledSudokuSweepConfig,
+    ServeLoadSweepConfig,
+    WorkloadEntry,
+    register_sweep_workload,
+    run_sweep_workload,
+    sweep_workload_config,
+    sweep_workloads,
 )
 
 __all__ = [
@@ -112,8 +140,12 @@ __all__ = [
     "SlotPolicy",
     "SlotRow",
     "SweepExecutor",
+    "SweepReport",
+    "SweepSpec",
     "SweepTask",
+    "SweepTaskRecord",
     "derive_task_seed",
+    "sweep_task_key",
     "SeedSweepResult",
     "batched_thalamic_provider",
     "build_eighty_twenty_replicas",
@@ -122,4 +154,14 @@ __all__ = [
     "pooled_csp_sweep",
     "pooled_sudoku_sweep",
     "run_many_on_backend",
+    "serve_load_sweep",
+    "CSPPortfolioSweepConfig",
+    "PooledCSPSweepConfig",
+    "PooledSudokuSweepConfig",
+    "ServeLoadSweepConfig",
+    "WorkloadEntry",
+    "register_sweep_workload",
+    "run_sweep_workload",
+    "sweep_workload_config",
+    "sweep_workloads",
 ]

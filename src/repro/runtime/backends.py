@@ -43,6 +43,7 @@ Registering a new backend::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Protocol, Union, runtime_checkable
 
 import numpy as np
@@ -344,7 +345,7 @@ def run_on_backend(
     name: str,
     request: RunRequest,
     *,
-    cache: Union[None, bool, RunResultCache] = None,
+    cache: Union[None, bool, str, Path, RunResultCache] = None,
 ) -> RunResult:
     """Run ``request`` on the named backend, optionally through a cache.
 
@@ -353,10 +354,12 @@ def run_on_backend(
     cache:
         ``None`` (default) honours the ``REPRO_RUN_CACHE`` environment
         switch; ``True``/``False`` force the default on-disk
-        :class:`~repro.runtime.cache.RunResultCache` on/off; an explicit
-        instance is used as-is.  A cached run is served without invoking
-        the backend at all (the cache key covers backend name, the full
-        request, and a fingerprint of the ``repro`` sources).
+        :class:`~repro.runtime.cache.RunResultCache` on/off; a string or
+        path selects an explicit store directory (the picklable form the
+        sweep fabric hands its pool workers); an explicit instance is
+        used as-is.  A cached run is served without invoking the backend
+        at all (the cache key covers backend name, the full request, and
+        a fingerprint of the ``repro`` sources).
     """
     backend = get_backend(name)
     resolved = resolve_cache(cache)

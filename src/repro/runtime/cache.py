@@ -281,13 +281,15 @@ def default_cache() -> RunResultCache:
 
 
 def resolve_cache(
-    cache: Union[None, bool, RunResultCache],
+    cache: Union[None, bool, str, Path, RunResultCache],
 ) -> Optional[RunResultCache]:
-    """Resolve the ``cache`` argument of ``run_on_backend``.
+    """Resolve the ``cache`` argument of ``run_on_backend`` and the sweeps.
 
     ``None`` defers to the ``REPRO_RUN_CACHE`` environment switch,
-    ``True``/``False`` force the default cache on/off, and a
-    :class:`RunResultCache` instance is used as-is.
+    ``True``/``False`` force the default cache on/off, a string or
+    :class:`~pathlib.Path` selects an explicit store directory (the form
+    sweep workers receive, since a path crosses process boundaries
+    cheaply), and a :class:`RunResultCache` instance is used as-is.
     """
     if cache is None:
         if os.environ.get(ENV_ENABLE, "").strip().lower() in ("1", "true", "on", "yes"):
@@ -297,4 +299,6 @@ def resolve_cache(
         return None
     if cache is True:
         return default_cache()
+    if isinstance(cache, (str, Path)):
+        return RunResultCache(cache)
     return cache

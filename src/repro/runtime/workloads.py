@@ -9,16 +9,22 @@ Two sweep families cover the paper's evaluation workloads:
   networks are run through the sequential ``SNNNetwork`` loop (the
   baseline the batched-runtime benchmark measures against).
 * :func:`pooled_sudoku_sweep` — solve a generated puzzle set by fanning
-  one solver run per puzzle out over a
-  :class:`~repro.runtime.sweep.SweepExecutor` process pool.  (The
-  vectorised alternative, which runs all puzzles as one batched network,
-  is :meth:`repro.sudoku.solver.SNNSudokuSolver.solve_batch`.)
+  one solver run per puzzle out over the
+  :class:`~repro.runtime.sweep.SweepExecutor` work-stealing fabric.
+  (The vectorised alternative, which runs all puzzles as one batched
+  network, is :meth:`repro.sudoku.solver.SNNSudokuSolver.solve_batch`.)
+
+All four pooled/batched sweep drivers here (``pooled_sudoku_sweep``,
+``pooled_csp_sweep``, ``csp_portfolio_sweep``, ``serve_load_sweep``) are
+also registered in :mod:`repro.runtime.registry` behind one typed
+``name -> config -> SweepReport`` entry point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,7 +35,7 @@ from .batch import BatchedNetwork
 from .backends import RunRequest, RunResult, eighty_twenty_config, get_backend, run_on_backend
 from .cache import RunResultCache
 from .drives import compile_batched_external
-from .sweep import SweepExecutor, SweepTask, derive_task_seed
+from .sweep import SweepExecutor, SweepReport, SweepSpec, SweepTask, derive_task_seed
 
 __all__ = [
     "SeedSweepResult",
@@ -216,15 +222,16 @@ def run_many_on_backend(
     ISA- and cycle-level backends cannot be stacked into NumPy batches,
     so the requests fan out over a
     :class:`~repro.runtime.sweep.SweepExecutor` (serial by default,
-    process-parallel when an executor with ``mode="process"`` is passed).
-    With ``cache`` set, each run goes through
-    :class:`~repro.runtime.cache.RunResultCache` — repeated sweeps, and
-    sweeps sharing requests, skip recomputation entirely (the on-disk
-    store is shared between pool workers).
+    work-stealing process-parallel when an executor with
+    ``mode="process"`` is passed).  With ``cache`` set, each run goes
+    through :class:`~repro.runtime.cache.RunResultCache` — repeated
+    sweeps, and sweeps sharing requests, skip recomputation entirely
+    (the on-disk store is shared between pool workers).
     """
     executor = executor if executor is not None else SweepExecutor(mode="serial")
     param_sets = [{"backend": name, "request": request, "cache": cache} for request in requests]
-    return executor.run(_run_request_task, param_sets)
+    spec = SweepSpec(fn=_run_request_task, param_sets=param_sets)
+    return executor.execute(spec).results
 
 
 # ---------------------------------------------------------------------- #
@@ -264,8 +271,12 @@ def pooled_sudoku_sweep(
     solver_seed: int = 7,
     mix_seeds: bool = True,
     executor: Optional[SweepExecutor] = None,
-) -> Dict[str, Any]:
-    """Solve ``count`` generated puzzles, optionally over a process pool.
+    cache: Union[None, bool, str, Path, RunResultCache] = False,
+    chunk_size: Optional[int] = None,
+    lease_timeout: float = 60.0,
+    return_report: bool = False,
+) -> Union[Dict[str, Any], SweepReport]:
+    """Solve ``count`` generated puzzles, optionally over the sweep fabric.
 
     With ``mix_seeds`` (the default) each task derives its puzzle seed
     from ``(base_seed, index)`` through :func:`~repro.runtime.sweep.derive_task_seed`
@@ -280,6 +291,12 @@ def pooled_sudoku_sweep(
     stream for every task (it used to be hard-wired to the solver
     default, making noise-seed sensitivity studies impossible through
     this entry point).
+
+    ``cache`` / ``chunk_size`` / ``lease_timeout`` configure the
+    :class:`~repro.runtime.sweep.SweepSpec` (resume store, lease
+    granularity); ``return_report=True`` returns the full
+    :class:`~repro.runtime.sweep.SweepReport` (summary attached) instead
+    of the summary dict — the form the workload registry uses.
     """
     executor = executor if executor is not None else SweepExecutor(mode="serial")
     param_sets = [
@@ -292,15 +309,26 @@ def pooled_sudoku_sweep(
         }
         for i in range(count)
     ]
-    results = executor.run(_solve_one_sudoku, param_sets, base_seed=base_seed)
+    report = executor.execute(
+        SweepSpec(
+            fn=_solve_one_sudoku,
+            param_sets=param_sets,
+            base_seed=base_seed,
+            cache=cache,
+            chunk_size=chunk_size,
+            lease_timeout=lease_timeout,
+        )
+    )
+    results = report.results
     solved = sum(1 for r in results if r["solved"])
-    return {
+    report.summary = {
         "num_puzzles": count,
         "solved": solved,
         "solve_rate": solved / count if count else 0.0,
         "mean_steps": float(np.mean([r["steps"] for r in results])) if results else 0.0,
         "results": results,
     }
+    return report if return_report else report.summary
 
 
 # ---------------------------------------------------------------------- #
@@ -348,15 +376,24 @@ def pooled_csp_sweep(
     check_interval: int = 10,
     scenario_params: Optional[Dict[str, Any]] = None,
     executor: Optional[SweepExecutor] = None,
-) -> Dict[str, Any]:
-    """Solve ``count`` generated CSP instances, optionally over a process pool.
+    cache: Union[None, bool, str, Path, RunResultCache] = False,
+    chunk_size: Optional[int] = None,
+    lease_timeout: float = 60.0,
+    return_report: bool = False,
+) -> Union[Dict[str, Any], SweepReport]:
+    """Solve ``count`` generated CSP instances, optionally over the fabric.
 
     Each task derives its instance from ``base_seed + index`` through the
     deterministic scenario generators (:mod:`repro.csp.scenarios`), so
-    results are identical between serial and process execution.  The
-    vectorised alternative, which stacks all instances into one batched
-    network, is :func:`repro.csp.solver.solve_instances` (used by the
-    harness solve-rate experiment).
+    results are identical between serial and process execution — and
+    identical across lease reassignments, since a task is a pure
+    function of its parameters and seed.  The vectorised alternative,
+    which stacks all instances into one batched network, is
+    :func:`repro.csp.solver.solve_instances` (used by the harness
+    solve-rate experiment).  ``cache`` enables crash-tolerant resume
+    through :class:`~repro.runtime.cache.RunResultCache`;
+    ``return_report=True`` returns the :class:`SweepReport` (summary
+    attached) instead of the summary dict.
     """
     executor = executor if executor is not None else SweepExecutor(mode="serial")
     param_sets = [
@@ -371,9 +408,19 @@ def pooled_csp_sweep(
         }
         for i in range(count)
     ]
-    results = executor.run(_solve_one_csp, param_sets, base_seed=base_seed)
+    report = executor.execute(
+        SweepSpec(
+            fn=_solve_one_csp,
+            param_sets=param_sets,
+            base_seed=base_seed,
+            cache=cache,
+            chunk_size=chunk_size,
+            lease_timeout=lease_timeout,
+        )
+    )
+    results = report.results
     solved = sum(1 for r in results if r["solved"])
-    return {
+    report.summary = {
         "scenario": scenario,
         "num_instances": count,
         "solved": solved,
@@ -381,6 +428,7 @@ def pooled_csp_sweep(
         "mean_steps": float(np.mean([r["steps"] for r in results])) if results else 0.0,
         "results": results,
     }
+    return report if return_report else report.summary
 
 
 # ---------------------------------------------------------------------- #

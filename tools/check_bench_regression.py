@@ -36,12 +36,13 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Tracked result files: name -> comparison strategy
-#: ("iss" | "csp" | "batched" | "serve").
+#: ("iss" | "csp" | "batched" | "serve" | "sweep").
 BENCH_FILES = {
     "BENCH_iss.json": "iss",
     "BENCH_csp.json": "csp",
     "BENCH_batched.json": "batched",
     "BENCH_serve.json": "serve",
+    "BENCH_sweep.json": "sweep",
 }
 
 
@@ -232,6 +233,46 @@ def compare_serve(baseline: dict, current: dict, cmp: Comparator) -> None:
         )
 
 
+def compare_sweep(baseline: dict, current: dict, cmp: Comparator) -> None:
+    """Sweep-fabric file: the scaling record plus the resume record.
+
+    ``efficiency``/``speedup`` are wall-clock (usual runner slack);
+    ``solve_rate`` and the resume ``cache_hit_fraction`` are fully
+    deterministic for a seeded sweep, so any movement there is a real
+    scheduling, seeding or cache-keying change.
+    """
+    for record, base in sorted(baseline.items()):
+        cur = current.get(record)
+        if cur is None:
+            cmp.skip(f"BENCH_sweep[{record}]: missing from current run; skipping")
+            continue
+        config_keys = ("count", "max_steps", "num_vertices", "workers")
+        if any(base.get(k) != cur.get(k) for k in config_keys):
+            cmp.skip(
+                f"BENCH_sweep[{record}]: run configuration differs from baseline; "
+                "skipping comparison"
+            )
+            continue
+        label = f"BENCH_sweep[{record}]"
+        if record == "pooled_csp_resume":
+            cmp.check(
+                label,
+                "cache_hit_fraction",
+                base.get("cache_hit_fraction", 0),
+                cur.get("cache_hit_fraction", 0),
+            )
+            continue
+        cmp.check(label, "efficiency", base.get("efficiency", 0), cur.get("efficiency", 0))
+        cmp.check(label, "speedup", base.get("speedup", 0), cur.get("speedup", 0))
+        cmp.check(label, "solve_rate", base.get("solve_rate", 0), cur.get("solve_rate", 0))
+        cmp.check(
+            label,
+            "tasks_per_second",
+            base.get("tasks_per_second", 0),
+            cur.get("tasks_per_second", 0),
+        )
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -270,6 +311,8 @@ def main(argv) -> int:
             compare_batched(baseline, current, cmp)
         elif kind == "serve":
             compare_serve(baseline, current, cmp)
+        elif kind == "sweep":
+            compare_sweep(baseline, current, cmp)
         else:
             compare_csp(baseline, current, cmp)
 
