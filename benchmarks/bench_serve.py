@@ -86,18 +86,30 @@ def _merge_into_json(updates):
     print(f"Wrote {JSON_PATH}")
 
 
-def _run_load():
+def _run_load(**extra_service_kwargs):
     """One full open-loop run; returns (rows, metrics, wall seconds)."""
     start = time.perf_counter()
-    rows, metrics = run_open_loop_sync(
+    rows, metrics, _ = run_open_loop_sync(
         SPEC,
         capacity=CAPACITY,
         check_interval=CHECK_INTERVAL,
         default_max_steps=MAX_STEPS,
         seed=SEED,
         clock="steps",
+        **extra_service_kwargs,
     )
     return rows, metrics, time.perf_counter() - start
+
+
+#: Durability counters differ between a plain and a checkpointed run by
+#: construction; everything else in the snapshot must be identical.
+_DURABILITY_KEYS = frozenset(
+    {"checkpoints", "restores", "restored_rows", "replayed", "checkpoint_failures"}
+)
+
+
+def _scheduling_metrics(metrics):
+    return {k: v for k, v in metrics.as_dict().items() if k not in _DURABILITY_KEYS}
 
 
 def _assert_offline_identity(rows):
@@ -212,3 +224,101 @@ def test_serve_open_loop_sustained_throughput(benchmark):
     # ...and repeats of in-pool instances must be deduplicated.
     if repeats:
         assert dedup_hits == repeats
+
+
+def test_serve_open_loop_checkpointed_overhead(benchmark):
+    """E-S3 — the same open-loop load with crash-safe durability enabled.
+
+    The service journals every admission (fsynced write-ahead log) and
+    snapshots the full engine state every ``10 * check_interval`` steps
+    (:mod:`repro.runtime.checkpoint`).  Two things are asserted: the
+    durability layer is **results-invisible** — every served row and
+    every scheduling metric is bit-identical to the plain run — and its
+    wall-clock cost stays within the committed-baseline gate
+    (``open_loop_checkpointed`` in ``BENCH_serve.json``).
+    """
+    import tempfile
+
+    rows_plain, metrics_plain, _ = _run_load()
+
+    def durable_round(root, index):
+        return _run_load(
+            checkpoint_dir=os.path.join(root, f"ckpts-{index}"),
+            checkpoint_every=10 * CHECK_INTERVAL,
+            journal_path=os.path.join(root, f"journal-{index}.wal"),
+        )
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-ckpt-") as root:
+        rows, metrics, wall = durable_round(root, 0)
+        for index in range(1, max(1, ROUNDS)):
+            _, repeat_metrics, repeat_wall = durable_round(root, index)
+            assert _scheduling_metrics(repeat_metrics) == _scheduling_metrics(metrics)
+            wall = min(wall, repeat_wall)
+
+    # Durability must not change a single served bit...
+    assert _scheduling_metrics(metrics) == _scheduling_metrics(metrics_plain)
+    for (client, pick, served), (ref_client, ref_pick, reference) in zip(rows, rows_plain):
+        assert (client, pick) == (ref_client, ref_pick)
+        assert served is not None and reference is not None
+        assert served.seed == reference.seed
+        assert served.result.solved == reference.result.solved
+        assert served.result.steps == reference.result.steps
+        assert served.result.total_spikes == reference.result.total_spikes
+        np.testing.assert_array_equal(served.result.values, reference.result.values)
+        np.testing.assert_array_equal(served.result.decided, reference.result.decided)
+    # ...and it must have actually been on.
+    snap = metrics.as_dict()
+    assert snap["checkpoints"] >= 1 and snap["restores"] == 0
+
+    unique = len({(pick, served.seed, served.max_steps) for _, pick, served in rows})
+    repeats = SPEC.total_requests - unique
+    dedup_hits = snap["cache_hits"] + snap["coalesced"]
+    payload = {
+        "open_loop_checkpointed": {
+            # Run configuration (the regression gate's fingerprint).
+            "scenario": "coloring",
+            "capacity": CAPACITY,
+            "num_clients": CLIENTS,
+            "requests_per_client": REQUESTS,
+            "unique_instances": UNIQUE,
+            "mean_interarrival_steps": INTERARRIVAL,
+            "max_steps": MAX_STEPS,
+            "num_neurons": VERTICES * 3,
+            # Deterministic outcomes (identical to the plain leg by assert).
+            "served": snap["served"],
+            "solved": snap["solved"],
+            "solve_rate": snap["solved"] / SPEC.total_requests,
+            "latency_steps_p50": snap["latency_steps_p50"],
+            "latency_steps_p99": snap["latency_steps_p99"],
+            "cache_hit_rate": dedup_hits / repeats if repeats else 0.0,
+            "checkpoints": snap["checkpoints"],
+            # Wall-clock throughput with durability on (best of ROUNDS).
+            "wall_seconds": wall,
+            "solves_per_second": snap["solved"] / wall if wall > 0 else 0.0,
+        }
+    }
+    summary = payload["open_loop_checkpointed"]
+    print()
+    print(
+        format_table(
+            ["Served", "Solved", "Checkpoints", "p99 steps", "Solves/s"],
+            [
+                [
+                    summary["served"],
+                    summary["solved"],
+                    summary["checkpoints"],
+                    f"{summary['latency_steps_p99']:.0f}",
+                    f"{summary['solves_per_second']:.1f}",
+                ]
+            ],
+            title="Solve service with checkpointing + admission journal",
+        )
+    )
+    _merge_into_json(payload)
+    benchmark.extra_info.update(
+        {
+            "solves_per_second": summary["solves_per_second"],
+            "latency_steps_p99": summary["latency_steps_p99"],
+        }
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -292,6 +292,9 @@ def solve_instances(
     seed: int = 7,
     max_steps: int = 3000,
     check_interval: int = 10,
+    checkpoint_dir=None,
+    checkpoint_every: Optional[int] = None,
+    fault=None,
 ) -> List[CSPSolveResult]:
     """Solve many ``(graph, clamps)`` instances as one exact-mode batch.
 
@@ -307,6 +310,19 @@ def solve_instances(
     measured one sample instead of ``B``.  Pass ``seeds=`` explicitly to
     reproduce old runs (explicit seeds are honoured bit-for-bit,
     including a shared value for every replica).
+
+    With ``checkpoint_dir`` set, the batch loop writes a crash-safe
+    snapshot (:mod:`repro.runtime.checkpoint`) every ``checkpoint_every``
+    global steps (default ``10 * check_interval``) plus one at
+    completion.  Re-calling with the same arguments and directory
+    resumes from the newest readable snapshot — killing the process at
+    any point and re-running returns results bit-identical to the
+    uninterrupted call.  Snapshots are bound to the exact solve
+    (instances, seeds, config, backend, budgets) by a content
+    fingerprint; a directory holding a different solve's snapshots
+    raises :class:`~repro.runtime.checkpoint.CheckpointError`.  ``fault``
+    takes a :class:`~repro.runtime.checkpoint.FaultPlan` for the chaos
+    suites (deterministic crash/torn-write/corruption injection).
     """
     if not instances:
         return []
@@ -320,25 +336,42 @@ def solve_instances(
     sizes = {graph.num_neurons for graph, _ in instances}
     if len(sizes) != 1:
         raise ValueError(f"instances have differing neuron counts: {sorted(sizes)}")
-    entries = []
+
     # Instances of the *same* graph object share one synapse build, so
     # the batch engine sees one shared connectivity matrix and takes its
     # shared-sparse fast path instead of stacking B identical copies.
     shared_synapses: Dict[int, object] = {}
-    for (graph, clamps), instance_seed in zip(instances, seeds):
+
+    def build_entry(index: int) -> _BatchEntry:
+        graph, clamps = instances[index]
         solver = SpikingCSPSolver(
             graph,
             cfg,
             backend=backend,
-            seed=int(instance_seed),
+            seed=int(seeds[index]),
             synapses=shared_synapses.get(id(graph)),
         )
         shared_synapses[id(graph)] = solver.synapses
         resolved = graph.resolve_clamps(clamps)
         if not graph.clamps_consistent(resolved):
             raise ValueError("clamps violate a constraint edge")
-        entries.append(_BatchEntry(graph, resolved, solver.build_network(resolved)))
-    return _run_batch(entries, cfg, max_steps=max_steps, check_interval=check_interval)
+        return _BatchEntry(graph, resolved, solver.build_network(resolved))
+
+    if checkpoint_dir is None:
+        entries = [build_entry(i) for i in range(len(instances))]
+        return _run_batch(entries, cfg, max_steps=max_steps, check_interval=check_interval)
+    return _run_batch_checkpointed(
+        instances,
+        cfg,
+        backend=backend,
+        seeds=[int(s) for s in seeds],
+        build_entry=build_entry,
+        max_steps=max_steps,
+        check_interval=check_interval,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        fault=fault,
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -449,6 +482,156 @@ def _run_batch(
     return [
         result if result is not None else _empty_result(entry.graph, entry.clamps)
         for entry, result in zip(entries, results)
+    ]
+
+
+def _solve_fingerprint(
+    instances: Sequence[Tuple[ConstraintGraph, ClampsLike]],
+    seeds: Sequence[int],
+    config: CSPConfig,
+    backend: str,
+    max_steps: int,
+    check_interval: int,
+) -> str:
+    """Content identity binding a checkpoint to one exact solve call."""
+    import hashlib
+    import pickle
+
+    from ..runtime.cache import derive_cache_key
+
+    payload = {
+        "instances": [
+            (graph, sorted((int(v), int(val), int(n)) for v, val, n in graph.resolve_clamps(c)))
+            for graph, c in instances
+        ],
+        "seeds": [int(s) for s in seeds],
+        "config": config,
+        "backend": backend,
+        "max_steps": int(max_steps),
+        "check_interval": int(check_interval),
+    }
+    key = derive_cache_key("csp-checkpoint", payload)
+    if key is not None:
+        return key
+    # No canonical token for some graph payload: fall back to a pickle
+    # digest (deterministic for the dataclass/ndarray graphs in use).
+    return hashlib.sha256(pickle.dumps(payload)).hexdigest()
+
+
+def _run_batch_checkpointed(
+    instances: Sequence[Tuple[ConstraintGraph, ClampsLike]],
+    config: CSPConfig,
+    *,
+    backend: str,
+    seeds: Sequence[int],
+    build_entry,
+    max_steps: int,
+    check_interval: int,
+    checkpoint_dir,
+    checkpoint_every: Optional[int],
+    fault,
+) -> List[CSPSolveResult]:
+    """The batch loop of :func:`_run_batch` with crash-safe snapshots.
+
+    Runs the same one-shot policy over the same engine, but every
+    ``checkpoint_every`` global steps (and once at completion) the full
+    engine state plus the already-retired results land in a
+    :class:`~repro.runtime.checkpoint.CheckpointStore`.  On entry the
+    newest readable snapshot is restored — networks for still-live rows
+    are rebuilt from their (graph, clamps, seed) descriptors and
+    overwritten with the snapshot state, so the continued trajectory is
+    bit-identical to the uninterrupted run's.
+    """
+    import os
+
+    from ..runtime.checkpoint import CheckpointError, CheckpointStore, FaultPlan
+    from ..runtime.slots import OneShotPolicy, SlotEngine, SlotRow
+
+    if max_steps <= 0:
+        return [_empty_result(graph, clamps) for graph, clamps in instances]
+
+    every = int(checkpoint_every) if checkpoint_every is not None else 10 * int(check_interval)
+    if every <= 0:
+        raise ValueError("checkpoint_every must be positive")
+    fingerprint = _solve_fingerprint(instances, seeds, config, backend, max_steps, check_interval)
+    store = CheckpointStore(checkpoint_dir, kind="csp-solve", fault=fault)
+
+    engine = SlotEngine(
+        decoder=CSP_SLOT_DECODER,
+        window=max(1, config.decode_window),
+        check_interval=check_interval,
+        extendable=False,
+    )
+    policy = OneShotPolicy([])
+    completed: Dict[int, CSPSolveResult] = {}
+
+    latest = store.load_latest()
+    if latest is not None:
+        _, payload = latest
+        if payload.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"checkpoint in {os.fspath(checkpoint_dir)} belongs to a different solve "
+                "(instances, seeds, config, backend or budgets changed)"
+            )
+        completed = dict(payload["completed"])
+        row_states = payload["engine"]["rows"]
+        networks = [build_entry(int(rs["payload"])).network for rs in row_states]
+        engine.restore_state(payload["engine"], networks)
+    else:
+        admissions = []
+        for index in range(len(instances)):
+            entry = build_entry(index)
+            admissions.append(
+                (
+                    SlotRow(
+                        graph=entry.graph, clamps=entry.clamps, budget=max_steps, payload=index
+                    ),
+                    entry.network,
+                )
+            )
+        engine.recompose([], admissions)
+
+    def drain_outcomes() -> None:
+        updates_per_step = engine.updates_per_step or 0
+        while policy.outcomes:
+            outcome = policy.outcomes.pop()
+            completed[int(outcome.row.payload)] = CSPSolveResult(
+                solved=outcome.decode.solved,
+                steps=outcome.local_steps,
+                values=outcome.decode.values,
+                decided=outcome.decode.decided,
+                total_spikes=outcome.spikes,
+                neuron_updates=outcome.local_steps * updates_per_step,
+                attempts=1,
+                attempt_steps=(outcome.local_steps,),
+            )
+
+    def save() -> None:
+        store.save(
+            engine.global_step,
+            {
+                "fingerprint": fingerprint,
+                "engine": engine.export_state(),
+                "completed": dict(completed),
+            },
+        )
+
+    while engine.rows and engine.global_step < max_steps:
+        checkpoint = engine.step()
+        if checkpoint is not None:
+            decision = policy.on_checkpoint(checkpoint)
+            engine.recompose(decision.keep, decision.admissions)
+            drain_outcomes()
+        if engine.global_step % every == 0:
+            save()
+        if fault is not None and fault.should_crash(engine.global_step):
+            os._exit(FaultPlan.CRASH_EXIT_CODE)
+    drain_outcomes()
+    save()
+
+    return [
+        completed[i] if i in completed else _empty_result(graph, clamps)
+        for i, (graph, clamps) in enumerate(instances)
     ]
 
 

@@ -16,6 +16,13 @@ This package makes *batches* of independent simulations the unit of work
     :class:`RunResultCache`, a content-addressed on-disk cache serving
     repeated backend runs without recomputation (keyed by backend name,
     request and a fingerprint of the ``repro`` sources).
+:mod:`repro.runtime.checkpoint`
+    Crash-safe snapshots: versioned, checksummed, atomically written
+    checkpoint files plus a pruning :class:`CheckpointStore` and the
+    deterministic :class:`FaultPlan` used by the chaos suites; paired
+    with the ``export_state``/``restore_state`` hooks on
+    :class:`BatchedNetwork`, the compiled drives and :class:`SlotEngine`
+    so a restored solve continues bit-identically.
 :mod:`repro.runtime.drives`
     Drive compilation: per-replica external-input closures compiled into
     one vectorised ``(B, N)`` provider with bit-identical per-replica
@@ -57,6 +64,15 @@ from .backends import (
 )
 from .batch import BatchedNetwork, BatchIncompatibleError
 from .cache import RunResultCache, code_fingerprint, default_cache
+from .checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointStore,
+    CheckpointVersionError,
+    FaultPlan,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .drives import (
     AnnealedNoiseSpec,
     CompiledAnnealedDrive,
@@ -123,6 +139,13 @@ __all__ = [
     "RunResultCache",
     "code_fingerprint",
     "default_cache",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointStore",
+    "CheckpointVersionError",
+    "FaultPlan",
+    "read_checkpoint",
+    "write_checkpoint",
     "AnnealedNoiseSpec",
     "CompiledAnnealedDrive",
     "CompiledDrive",

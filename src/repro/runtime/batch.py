@@ -882,6 +882,83 @@ class BatchedNetwork:
         self._last_fired[:] = False
 
     # ------------------------------------------------------------------ #
+    # Checkpointing (repro.runtime.checkpoint)
+    # ------------------------------------------------------------------ #
+    def _state_descriptor(self) -> dict:
+        """The structural identity a snapshot must match to be restored."""
+        return {
+            "batch_size": int(self.batch_size),
+            "size": int(self.size),
+            "is_fixed_point": bool(self.is_fixed_point),
+            "current_mode": self.current_mode,
+            "tau_select": int(self.tau_select),
+            "synapse_mode": self.synapse_mode,
+            "h_shift": int(self.h_shift),
+            "integer": bool(self._synapses.integer),
+        }
+
+    def export_state(self) -> dict:
+        """A picklable snapshot of the full per-replica simulation state.
+
+        Covers everything the step loop carries between steps: the
+        membrane/recovery state (raw Q7.8 integers on the fixed-point
+        backend), the float synaptic current, the raw Q15.16 integer
+        current feed (``_isyn_raw``) and the last-fired masks, plus a
+        structural descriptor so a restore onto a mismatched batch
+        fails loudly.  Kernel parameters, connectivity and drive
+        providers are *not* serialised — they are pure functions of the
+        (graph, config) pairs the restore path rebuilds the batch from.
+        """
+        state = {
+            "descriptor": self._state_descriptor(),
+            "last_fired": self._last_fired.copy(),
+            "current": self._current.copy(),
+            "isyn_raw": self._isyn_raw.copy(),
+        }
+        if self.is_fixed_point:
+            state["v_raw"] = self.v_raw.copy()
+            state["u_raw"] = self.u_raw.copy()
+        else:
+            state["v"] = self.v.copy()
+            state["u"] = self.u.copy()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the live per-replica state with an exported snapshot.
+
+        The batch must have been rebuilt to the snapshot's structure
+        first (same replica count, backend, current mode and synapse
+        engine); any mismatch raises :class:`BatchIncompatibleError`
+        before a single array is touched.
+        """
+        descriptor = dict(state["descriptor"])
+        mine = self._state_descriptor()
+        if descriptor != mine:
+            diff = {
+                key: (descriptor.get(key), mine.get(key))
+                for key in set(descriptor) | set(mine)
+                if descriptor.get(key) != mine.get(key)
+            }
+            raise BatchIncompatibleError(
+                f"checkpoint state does not match the live batch: {diff}"
+            )
+        names = ["last_fired", "current", "isyn_raw"]
+        names += ["v_raw", "u_raw"] if self.is_fixed_point else ["v", "u"]
+        arrays = {}
+        for name in names:
+            target = getattr(self, name if name.startswith(("v", "u")) else f"_{name}")
+            arr = np.asarray(state[name], dtype=target.dtype)
+            if arr.shape != target.shape:
+                raise BatchIncompatibleError(
+                    f"checkpoint array {name!r} has shape {arr.shape}, "
+                    f"expected {target.shape}"
+                )
+            arrays[name] = arr
+        for name, arr in arrays.items():
+            target = getattr(self, name if name.startswith(("v", "u")) else f"_{name}")
+            np.copyto(target, arr)
+
+    # ------------------------------------------------------------------ #
     # Active-set shrinking
     # ------------------------------------------------------------------ #
     def retain(self, keep: Sequence[int]) -> None:

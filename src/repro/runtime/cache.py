@@ -12,8 +12,11 @@ to the code that computes it.  :class:`RunResultCache` exploits that:
   the simulator invalidates all prior entries instead of serving stale
   results;
 * entries are pickled ``RunResult`` objects stored under
-  ``<root>/<key[:2]>/<key>.pkl`` with atomic replace, so concurrent
-  sweep workers may share one cache directory;
+  ``<root>/<key[:2]>/<key>.pkl`` — written atomically (temp file +
+  fsync + rename) with a SHA-256 payload checksum verified on every
+  read, so concurrent sweep workers may share one cache directory and a
+  corrupted entry is quarantined (renamed aside, counted) instead of
+  being served or silently lost;
 * requests that contain objects without a stable canonical form (e.g. a
   closure in ``options``) are *bypassed*, never mis-keyed.
 
@@ -57,6 +60,11 @@ ENV_DIR = "REPRO_RUN_CACHE_DIR"
 
 #: Bumped whenever the key derivation or the stored format changes.
 _FORMAT_VERSION = 1
+
+#: Leads every checksummed cache entry; followed by a 32-byte SHA-256 of
+#: the pickled payload, then the payload itself.
+_ENTRY_MAGIC = b"RPROCSH1"
+_SHA_BYTES = 32
 
 
 class UncacheableRequestError(TypeError):
@@ -174,6 +182,7 @@ class RunResultCache:
         self.misses = 0
         self.stores = 0
         self.uncacheable = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------ #
     # Key derivation
@@ -188,24 +197,55 @@ class RunResultCache:
     # ------------------------------------------------------------------ #
     # Storage
     # ------------------------------------------------------------------ #
+    def _quarantine(self, path: Path) -> None:
+        """Rename a damaged entry aside (kept for post-mortems) and count it.
+
+        Quarantined files carry a ``.quarantined`` suffix the loader
+        never matches, so the slot reads as a miss and the next store
+        rewrites it — but the corrupt bytes stay available for
+        inspection instead of silently vanishing.
+        """
+        try:
+            os.replace(path, path.with_name(path.name + ".quarantined"))
+            self.quarantined += 1
+        except OSError:
+            path.unlink(missing_ok=True)
+
     def get(self, key: str, *, expect: Optional[type] = None) -> Optional[Any]:
         """Load a cached result (``None`` on miss or corrupt entry).
 
-        With ``expect`` set, an entry that unpickles to a different type
-        — e.g. a foreign pickle dropped into the cache directory, or an
-        entry written by an incompatible tool — is treated exactly like
-        a truncated one: unlinked and reported as a miss, never handed
-        to the caller.
+        Checksummed entries (the format :meth:`put` writes) are verified
+        on every read: a payload whose SHA-256 does not match — bit rot,
+        torn write, tampering — is **quarantined** (renamed aside and
+        counted in :attr:`stats`) and reported as a miss.  Legacy
+        un-checksummed pickles are still readable; ones that fail to
+        unpickle are quarantined the same way.  With ``expect`` set, an
+        entry that unpickles to a different type — e.g. a foreign pickle
+        dropped into the cache directory, or an entry written by an
+        incompatible tool — is unlinked and reported as a miss, never
+        handed to the caller.
         """
         path = self._path(key)
         try:
-            with open(path, "rb") as fh:
-                result = pickle.load(fh)
+            data = path.read_bytes()
         except FileNotFoundError:
             return None
+        except OSError:
+            return None
+        try:
+            if data.startswith(_ENTRY_MAGIC):
+                head = len(_ENTRY_MAGIC) + _SHA_BYTES
+                digest = data[len(_ENTRY_MAGIC) : head]
+                payload = data[head:]
+                if len(digest) < _SHA_BYTES or hashlib.sha256(payload).digest() != digest:
+                    raise ValueError("cache entry checksum mismatch")
+                result = pickle.loads(payload)
+            else:
+                # Pre-checksum entry (or foreign bytes): the unpickle
+                # itself is the only integrity check available.
+                result = pickle.loads(data)
         except Exception:
-            # A truncated or unreadable entry is a miss, not an error.
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
             return None
         if expect is not None and not isinstance(result, expect):
             path.unlink(missing_ok=True)
@@ -213,13 +253,24 @@ class RunResultCache:
         return result
 
     def put(self, key: str, result: Any) -> None:
-        """Store ``result`` under ``key`` (atomic replace, crash safe)."""
+        """Store ``result`` under ``key`` (atomic, fsynced, checksummed).
+
+        The entry is written to a temp file (magic + payload SHA-256 +
+        pickled payload), fsynced and renamed into place, so a crash
+        mid-store can never leave a half-written entry under the key —
+        and a damaged one can never be mistaken for a result on read.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(_ENTRY_MAGIC)
+                fh.write(hashlib.sha256(payload).digest())
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -259,6 +310,7 @@ class RunResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "uncacheable": self.uncacheable,
+            "quarantined": self.quarantined,
         }
 
 

@@ -151,6 +151,47 @@ class _ChunkedNormals:
         self._rngs.extend(clones)
         self._buffer = np.concatenate([self._buffer, add])
 
+    # ------------------------------------------------------------------ #
+    # Checkpointing (repro.runtime.checkpoint)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """A picklable snapshot of every stream: generators, buffer, cursor.
+
+        ``numpy.random.Generator`` pickles its full bit-generator state,
+        so restoring the snapshot resumes each replica's stream at
+        exactly the draw it would have produced next — the property the
+        checkpoint/restore bit-identity contract rests on.
+        """
+        return {
+            "rngs": copy.deepcopy(self._rngs),
+            "buffer": self._buffer.copy(),
+            "row": int(self._row),
+            "chunk_steps": int(self._chunk_steps),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the streams wholesale with an exported snapshot."""
+        if int(state["chunk_steps"]) != self._chunk_steps:
+            raise ValueError(
+                f"checkpoint chunk_steps {state['chunk_steps']} differs from "
+                f"the live configuration {self._chunk_steps}"
+            )
+        buffer = np.asarray(state["buffer"], dtype=np.float64)
+        rngs = list(state["rngs"])
+        if buffer.ndim != 3 or buffer.shape[0] != len(rngs):
+            raise ValueError("checkpoint noise buffer does not match its generator list")
+        if buffer.shape[1] != self._chunk_steps or buffer.shape[2] != self._buffer.shape[2]:
+            raise ValueError(
+                f"checkpoint noise buffer shape {buffer.shape} does not match "
+                f"the live stream width {self._buffer.shape[1:]}"
+            )
+        row = int(state["row"])
+        if not 0 <= row <= self._chunk_steps:
+            raise ValueError(f"checkpoint chunk cursor {row} out of range")
+        self._rngs = [_clone_rng(rng) for rng in rngs]
+        self._buffer = buffer.copy()
+        self._row = row
+
 
 class CompiledDrive:
     """Base of the compiled providers: shape contract plus retain plumbing."""
@@ -201,6 +242,41 @@ class CompiledAnnealedDrive(CompiledDrive):
         self._drives = np.ascontiguousarray(self._drives[keep])
         self._masks = np.ascontiguousarray(self._masks[keep])
         self._normals.retain(keep)
+        self._noise = np.empty_like(self._drives)
+        self._out = np.empty_like(self._drives)
+        self.batch_shape = self._drives.shape
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (repro.runtime.checkpoint)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """A picklable snapshot of the drives, masks and noise streams."""
+        return {
+            "drives": self._drives.copy(),
+            "masks": self._masks.copy(),
+            "params": (float(self._sigma), int(self._period), float(self._floor)),
+            "normals": self._normals.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the provider wholesale with an exported snapshot."""
+        sigma, period, floor = state["params"]
+        if (float(sigma), int(period), float(floor)) != (
+            self._sigma,
+            self._period,
+            self._floor,
+        ):
+            raise ValueError("checkpoint anneal configuration differs from the live batch")
+        drives = np.asarray(state["drives"], dtype=np.float64)
+        masks = np.asarray(state["masks"], dtype=bool)
+        if drives.shape != self._drives.shape or masks.shape != self._masks.shape:
+            raise ValueError(
+                f"checkpoint drive shape {drives.shape} does not match the "
+                f"live batch {self._drives.shape}"
+            )
+        self._drives = drives.copy()
+        self._masks = masks.copy()
+        self._normals.restore_state(state["normals"])
         self._noise = np.empty_like(self._drives)
         self._out = np.empty_like(self._drives)
         self.batch_shape = self._drives.shape
@@ -301,6 +377,56 @@ class PortfolioAnnealedDrive(CompiledDrive):
             [self._offsets, np.asarray([s.step_offset for s in specs], dtype=np.int64)]
         )
         self._normals.extend([s.rng for s in specs])
+        self._alloc()
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (repro.runtime.checkpoint)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """A picklable snapshot: per-row anneal params, offsets, streams."""
+        return {
+            "drives": self._drives.copy(),
+            "masks": self._masks.copy(),
+            "sigma": self._sigma.copy(),
+            "period": self._period.copy(),
+            "floor": self._floor.copy(),
+            "offsets": self._offsets.copy(),
+            "normals": self._normals.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the provider wholesale with an exported snapshot.
+
+        The restore path rebuilds the batch from *fresh* networks (the
+        closures of a live one do not pickle) and then stamps this saved
+        state over it, so the drive amplitudes, per-row offsets and
+        noise cursors continue exactly where the snapshot left them.
+        """
+        drives = np.asarray(state["drives"], dtype=np.float64)
+        if drives.ndim != 2 or drives.shape[1] != self._drives.shape[1]:
+            raise ValueError(
+                f"checkpoint drive width {drives.shape} does not match the "
+                f"live batch width {self._drives.shape[1]}"
+            )
+        rows = drives.shape[0]
+        masks = np.asarray(state["masks"], dtype=bool)
+        sigma = np.asarray(state["sigma"], dtype=np.float64)
+        period = np.asarray(state["period"], dtype=np.int64)
+        floor = np.asarray(state["floor"], dtype=np.float64)
+        offsets = np.asarray(state["offsets"], dtype=np.int64)
+        if masks.shape != drives.shape or any(
+            arr.shape != (rows,) for arr in (sigma, period, floor, offsets)
+        ):
+            raise ValueError("checkpoint drive state arrays disagree on the row count")
+        self._drives = drives.copy()
+        self._masks = masks.copy()
+        self._sigma = sigma.copy()
+        self._period = period.copy()
+        self._floor = floor.copy()
+        self._offsets = offsets.copy()
+        self._normals.restore_state(state["normals"])
+        if len(self._normals._rngs) != rows:
+            raise ValueError("checkpoint noise streams disagree with the drive row count")
         self._alloc()
 
 

@@ -379,6 +379,142 @@ class SlotEngine:
         self._budgets = np.asarray([r.budget for r in self._rows], dtype=np.int64)
         self._row_index = np.arange(len(self._rows), dtype=np.int64)
 
+    # ------------------------------------------------------------------ #
+    # Checkpointing (repro.runtime.checkpoint)
+    # ------------------------------------------------------------------ #
+    def _config_descriptor(self) -> dict:
+        return {
+            "window": int(self._window),
+            "check_interval": int(self._check_interval),
+            "extendable": bool(self._extendable),
+            "synapse_mode": self._synapse_mode,
+        }
+
+    def export_state(self, *, payloads: Optional[Sequence[Any]] = None) -> dict:
+        """A picklable snapshot of the engine between two steps.
+
+        Captures the global step clock, every live row's descriptor
+        (graph, clamps, budget, admission offset), the sliding-window /
+        recency / spike bookkeeping, the batched network state and the
+        compiled drive state (noise cursors included) — everything
+        :meth:`restore_state` needs to continue bit-identically.
+
+        ``payloads`` substitutes a serialisable token per row for
+        ``row.payload`` (the serve scheduler's payloads hold asyncio
+        futures, which must never reach a pickle); by default the
+        payloads are stored as-is (the one-shot solver uses plain ints).
+
+        Engines running per-replica external providers (an uncompilable
+        drive mix) are not checkpointable: the closures' RNG state
+        cannot be exported, so this raises ``RuntimeError`` rather than
+        silently snapshotting half the state.
+        """
+        if payloads is not None and len(payloads) != len(self._rows):
+            raise ValueError("payload tokens must match the live row count")
+        drive_state = None
+        batch_state = None
+        if self._batch is not None:
+            provider = self._batch._batched_external
+            exporter = getattr(provider, "export_state", None)
+            if exporter is None:
+                raise RuntimeError(
+                    "cannot checkpoint a batch running per-replica external "
+                    "providers (the closures' RNG state is not exportable)"
+                )
+            batch_state = self._batch.export_state()
+            drive_state = exporter()
+        rows = []
+        for i, row in enumerate(self._rows):
+            rows.append(
+                {
+                    "graph": row.graph,
+                    "clamps": row.clamps,
+                    "budget": int(row.budget),
+                    "offset": int(row.offset),
+                    "payload": payloads[i] if payloads is not None else row.payload,
+                }
+            )
+        return {
+            "config": self._config_descriptor(),
+            "step": int(self._step),
+            "num_neurons": self._num_neurons,
+            "updates_per_step": self._updates_per_step,
+            "rows": rows,
+            "history": None if self._history is None else self._history.copy(),
+            "window_counts": None if self._window_counts is None else self._window_counts.copy(),
+            "last_spike": None if self._last_spike is None else self._last_spike.copy(),
+            "row_spikes": self._row_spikes.copy(),
+            "batch": batch_state,
+            "drive": drive_state,
+        }
+
+    def restore_state(self, state: dict, networks: Sequence[Any]) -> None:
+        """Rebuild the engine from a snapshot; continues bit-identically.
+
+        ``networks`` must hold one freshly built network per snapshot
+        row, in row order, built from the same (graph, clamps, seed,
+        config) the original rows were — live networks hold unpicklable
+        closures, so the snapshot stores only their state arrays and the
+        caller re-derives the structure.  The fresh networks' state and
+        drive streams are then overwritten wholesale with the snapshot's,
+        which is what makes the restored engine's next step bit-identical
+        to the uninterrupted run's.
+
+        Restoring onto an engine with live rows, or with a mismatched
+        window/check-interval configuration, raises before mutating.
+        """
+        if self._rows:
+            raise RuntimeError("cannot restore into an engine with live rows")
+        config = dict(state["config"])
+        if config != self._config_descriptor():
+            raise ValueError(
+                f"checkpoint engine configuration {config} does not match "
+                f"the live engine {self._config_descriptor()}"
+            )
+        row_states = list(state["rows"])
+        networks = list(networks)
+        if len(networks) != len(row_states):
+            raise ValueError(
+                f"restore got {len(networks)} networks for {len(row_states)} snapshot rows"
+            )
+        self._step = int(state["step"])
+        self._num_neurons = state["num_neurons"]
+        self._updates_per_step = state["updates_per_step"]
+        self._rows = [
+            SlotRow(
+                graph=rs["graph"],
+                clamps=rs["clamps"],
+                budget=int(rs["budget"]),
+                payload=rs["payload"],
+                offset=int(rs["offset"]),
+            )
+            for rs in row_states
+        ]
+        if not self._rows:
+            self._batch = None
+            self._reset_arrays()
+            return
+        self._batch = self._build_batch(networks)
+        self._batch.restore_state(state["batch"])
+        provider = self._batch._batched_external
+        if provider is not None:
+            provider.restore_state(state["drive"])
+        self._history = np.array(state["history"], dtype=bool, copy=True)
+        self._window_counts = np.array(state["window_counts"], dtype=np.int64, copy=True)
+        self._last_spike = np.array(state["last_spike"], dtype=np.int64, copy=True)
+        self._row_spikes = np.array(state["row_spikes"], dtype=np.int64, copy=True)
+        expected = (len(self._rows), int(self._num_neurons))
+        if (
+            self._history.shape != (self._window,) + expected
+            or self._window_counts.shape != expected
+            or self._last_spike.shape != expected
+            or self._row_spikes.shape != (len(self._rows),)
+        ):
+            raise ValueError("checkpoint bookkeeping arrays disagree with the row set")
+        self._offsets = np.asarray([r.offset for r in self._rows], dtype=np.int64)
+        self._budgets = np.asarray([r.budget for r in self._rows], dtype=np.int64)
+        self._row_index = np.arange(len(self._rows), dtype=np.int64)
+
     def _build_batch(self, networks: Sequence[Any]) -> BatchedNetwork:
         if self._extendable:
             provider = PortfolioAnnealedDrive(annealed_specs(networks))

@@ -54,6 +54,8 @@ import multiprocessing
 import os
 import pickle
 import queue as queue_mod
+import signal
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -659,6 +661,93 @@ class SweepExecutor:
         next_worker_id = 0
         respawns = 0
         max_respawns = 2 * num_workers
+        interrupted: List[int] = []
+
+        def handle_message(msg) -> None:
+            """Book one worker message (shared by the run and drain loops)."""
+            nonlocal error
+            kind = msg[0]
+            if kind == "lease":
+                _, chunk_id, worker_id = msg
+                if chunk_id in chunk_tasks:
+                    if worker_id not in workers:
+                        # Lease announcement from a worker whose death we
+                        # already processed: don't let the stale message
+                        # resurrect the lease — hand the chunk straight
+                        # to another worker.
+                        reassign(chunk_id)
+                    else:
+                        leases[chunk_id] = _Lease(
+                            worker=worker_id,
+                            deadline=time.monotonic() + spec.lease_timeout,
+                        )
+                        worker_chunk[worker_id] = chunk_id
+                        if chunk_owner.get(chunk_id, worker_id) != worker_id:
+                            counters["steals"] += 1
+            elif kind == "result":
+                (_, chunk_id, worker_id, index, value, cached, stored, uncacheable, duration) = msg
+                lease = leases.get(chunk_id)
+                if lease is not None:
+                    lease.deadline = time.monotonic() + spec.lease_timeout
+                worker_busy[worker_id] = worker_busy.get(worker_id, 0.0) + duration
+                if index in completed:
+                    counters["duplicates"] += 1
+                else:
+                    completed[index] = value
+                    records[index] = SweepTaskRecord(
+                        index=index,
+                        seed=task_by_index[index].seed,
+                        worker=worker_id,
+                        duration=duration,
+                        cached=cached,
+                        attempts=attempts[index],
+                    )
+                    counters["cache_hits"] += cached
+                    counters["cache_stores"] += stored
+                    counters["cache_uncacheable"] += uncacheable
+                chunk_tasks.get(chunk_id, {}).pop(index, None)
+            elif kind == "chunk_done":
+                _, chunk_id, worker_id = msg
+                leases.pop(chunk_id, None)
+                chunk_tasks.pop(chunk_id, None)
+                chunk_owner.pop(chunk_id, None)
+                if worker_chunk.get(worker_id) == chunk_id:
+                    del worker_chunk[worker_id]
+            elif kind == "error":
+                _, chunk_id, worker_id, index, payload, text = msg
+                if payload is not None:
+                    try:
+                        error = pickle.loads(payload)
+                    except Exception:
+                        error = RuntimeError(text)
+                else:
+                    error = RuntimeError(text)
+
+        def drain_interrupted(poll: float) -> None:
+            """Graceful SIGINT/SIGTERM: lose no already-computed chunk.
+
+            Pending (unleased) chunks are pulled back off the queue and
+            workers are poisoned, so each finishes at most its *current*
+            task; every result still in the channel — computed before or
+            during the drain, and already persisted worker-side in the
+            cache — is booked before the interrupt propagates.  A re-run
+            of the same spec then resumes from the cache with zero lost
+            chunks.
+            """
+            self._drain_inline(task_queue)
+            for _ in range(len(workers) + 1):
+                try:
+                    task_queue.put_nowait(None)
+                except (OSError, ValueError):
+                    break
+            deadline = time.monotonic() + max(2.0, spec.lease_timeout)
+            while time.monotonic() < deadline:
+                blob = _poll_get(result_queue, poll)
+                if blob is not None:
+                    handle_message(pickle.loads(blob))
+                    continue
+                if not any(proc.is_alive() for proc in workers.values()):
+                    break
 
         def spawn_worker() -> None:
             nonlocal next_worker_id
@@ -680,6 +769,23 @@ class SweepExecutor:
                 # the lease, sorted by index, become one fresh chunk.
                 dispatch([remaining[i] for i in sorted(remaining)])
 
+        # Graceful-shutdown hook: a SIGINT/SIGTERM mid-sweep drains
+        # in-flight lease results (flushed to the cache worker-side)
+        # instead of dropping whatever sat in the channel.  Signal
+        # handlers only install on the main thread; elsewhere the sweep
+        # keeps the process's existing behaviour.
+        previous_handlers: Dict[int, Any] = {}
+
+        def _on_signal(signum, frame) -> None:
+            interrupted.append(signum)
+
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous_handlers[signum] = signal.signal(signum, _on_signal)
+                except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                    pass
+
         try:
             for start in range(0, len(tasks), chunk_size):
                 dispatch(tasks[start : start + chunk_size])
@@ -690,6 +796,13 @@ class SweepExecutor:
             _debug = bool(os.environ.get("REPRO_SWEEP_DEBUG"))
             _last_dbg = 0.0
             while len(completed) < len(tasks):
+                if interrupted:
+                    drain_interrupted(poll)
+                    raise KeyboardInterrupt(
+                        f"sweep interrupted by signal {interrupted[0]}; "
+                        f"{len(completed)}/{len(tasks)} task results retained "
+                        "(cached tasks resume on re-run)"
+                    )
                 if _debug and time.monotonic() - _last_dbg > 1.0:
                     _last_dbg = time.monotonic()
                     print(
@@ -701,63 +814,8 @@ class SweepExecutor:
                     )
                 blob = _poll_get(result_queue, poll)
                 if blob is not None:
-                    msg = pickle.loads(blob)
-                    kind = msg[0]
-                    if kind == "lease":
-                        _, chunk_id, worker_id = msg
-                        if chunk_id in chunk_tasks:
-                            if worker_id not in workers:
-                                # Lease announcement from a worker whose
-                                # death we already processed: don't let the
-                                # stale message resurrect the lease — hand
-                                # the chunk straight to another worker.
-                                reassign(chunk_id)
-                            else:
-                                leases[chunk_id] = _Lease(
-                                    worker=worker_id,
-                                    deadline=time.monotonic() + spec.lease_timeout,
-                                )
-                                worker_chunk[worker_id] = chunk_id
-                                if chunk_owner.get(chunk_id, worker_id) != worker_id:
-                                    counters["steals"] += 1
-                    elif kind == "result":
-                        (_, chunk_id, worker_id, index, value, cached, stored, uncacheable, duration) = msg
-                        lease = leases.get(chunk_id)
-                        if lease is not None:
-                            lease.deadline = time.monotonic() + spec.lease_timeout
-                        worker_busy[worker_id] = worker_busy.get(worker_id, 0.0) + duration
-                        if index in completed:
-                            counters["duplicates"] += 1
-                        else:
-                            completed[index] = value
-                            records[index] = SweepTaskRecord(
-                                index=index,
-                                seed=task_by_index[index].seed,
-                                worker=worker_id,
-                                duration=duration,
-                                cached=cached,
-                                attempts=attempts[index],
-                            )
-                            counters["cache_hits"] += cached
-                            counters["cache_stores"] += stored
-                            counters["cache_uncacheable"] += uncacheable
-                        chunk_tasks.get(chunk_id, {}).pop(index, None)
-                    elif kind == "chunk_done":
-                        _, chunk_id, worker_id = msg
-                        leases.pop(chunk_id, None)
-                        chunk_tasks.pop(chunk_id, None)
-                        chunk_owner.pop(chunk_id, None)
-                        if worker_chunk.get(worker_id) == chunk_id:
-                            del worker_chunk[worker_id]
-                    elif kind == "error":
-                        _, chunk_id, worker_id, index, payload, text = msg
-                        if payload is not None:
-                            try:
-                                error = pickle.loads(payload)
-                            except Exception:
-                                error = RuntimeError(text)
-                        else:
-                            error = RuntimeError(text)
+                    handle_message(pickle.loads(blob))
+                    if error is not None:
                         break
 
                 now = time.monotonic()
@@ -799,6 +857,11 @@ class SweepExecutor:
                             attempts[task.index] += 1
                             record_inline(task)
         finally:
+            for signum, handler in previous_handlers.items():
+                try:
+                    signal.signal(signum, handler)
+                except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                    pass
             self._shutdown(workers, task_queue, result_queue)
 
         if error is not None:

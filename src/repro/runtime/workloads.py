@@ -503,6 +503,10 @@ def serve_load_sweep(
     seed: int = 0,
     max_steps: int = 1500,
     deadline: Optional[float] = None,
+    retry_budget: int = 0,
+    retry_base_steps: float = 8.0,
+    retry_cap_steps: float = 128.0,
+    retry_deadline_steps: Optional[float] = None,
     config=None,
     backend: str = "fixed",
     check_interval: int = 10,
@@ -517,6 +521,11 @@ def serve_load_sweep(
     exact-mode batch (:mod:`repro.serve`).  The service runs on its
     deterministic step clock, so the summary — including shed counts and
     latency percentiles — is exactly reproducible for a given seed.
+
+    With a ``retry_budget``, clients that get shed back off with seeded
+    jittered exponential delays and resubmit (see
+    :class:`~repro.serve.loadgen.OpenLoopLoad`); the client-side retry
+    ledger is reported alongside the service metrics.
 
     Returns the served rows (``(client, pool_index, ServeResult-or-None)``)
     plus the final :class:`~repro.serve.metrics.MetricsSnapshot` fields.
@@ -533,8 +542,12 @@ def serve_load_sweep(
         seed=seed,
         max_steps=max_steps,
         deadline=deadline,
+        retry_budget=retry_budget,
+        retry_base_steps=retry_base_steps,
+        retry_cap_steps=retry_cap_steps,
+        retry_deadline_steps=retry_deadline_steps,
     )
-    rows, metrics = run_open_loop_sync(
+    rows, metrics, load_stats = run_open_loop_sync(
         spec,
         capacity=capacity,
         queue_limit=queue_limit,
@@ -555,6 +568,10 @@ def serve_load_sweep(
         "served": len(served),
         "solved": solved,
         "solve_rate": solved / len(served) if served else 0.0,
+        "retry_budget": retry_budget,
+        "retries": load_stats["retries"],
+        "recovered_by_retry": load_stats["recovered_by_retry"],
+        "shed_after_retries": load_stats["shed"],
         "rows": rows,
         "metrics": metrics.as_dict(),
     }

@@ -8,6 +8,7 @@ does — so every served result is bit-identical to the standalone
 solver run with the same seed and budget.  See ``docs/SERVING.md``.
 """
 
+from .journal import AdmissionJournal, JournalCorruptError, JournalError
 from .loadgen import OpenLoopLoad, build_instance_pool, run_open_loop, run_open_loop_sync
 from .metrics import MetricsRecorder, MetricsSnapshot, nearest_rank_percentile
 from .service import (
@@ -19,17 +20,23 @@ from .service import (
     SolveService,
     derive_request_seed,
 )
+from .supervisor import ServeSupervisor, SupervisorError
 
 __all__ = [
+    "AdmissionJournal",
     "IncompatibleInstanceError",
+    "JournalCorruptError",
+    "JournalError",
     "LoadShedError",
     "MetricsRecorder",
     "MetricsSnapshot",
     "OpenLoopLoad",
     "ServeResult",
     "ServeStatus",
+    "ServeSupervisor",
     "ServiceClosedError",
     "SolveService",
+    "SupervisorError",
     "build_instance_pool",
     "derive_request_seed",
     "nearest_rank_percentile",

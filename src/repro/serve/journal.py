@@ -1,0 +1,191 @@
+"""Write-ahead admission journal for the recoverable solve service.
+
+Before a new request enters the admission queue, :class:`SolveService`
+appends one ``admit`` record — the request's content key plus everything
+needed to rebuild its ticket (graph, resolved clamps, derived seed, step
+budget, client) — and fsyncs.  When the ticket completes, a ``done``
+record retires the key.  After a crash, replaying the journal recovers
+every admitted-but-unfinished request: combined with the periodic engine
+checkpoints (:mod:`repro.runtime.checkpoint`) this is what lets a
+supervisor-respawned service finish the work a killed process was
+holding, bit-identically (the request seed is content-derived, so a
+re-solve of a replayed admission is the same solve).
+
+Record format: ``u32`` payload length, 32-byte SHA-256 of the payload,
+pickled payload dict, preceded once by an 8-byte file magic.  A crash
+can tear the *tail* record (the write was mid-flight); replay tolerates
+exactly that — the torn tail is counted, reported and truncated away on
+``repair=True`` — while corruption anywhere else raises the typed
+:class:`JournalCorruptError` (a damaged journal must fail loudly, not
+serve half a history).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["AdmissionJournal", "JournalCorruptError", "JournalError"]
+
+JOURNAL_MAGIC = b"RPROJNL1"
+
+_LEN = struct.Struct("<I")
+_SHA_BYTES = 32
+
+
+class JournalError(RuntimeError):
+    """Base of the journal's typed failures."""
+
+
+class JournalCorruptError(JournalError):
+    """The journal body (not its torn tail) fails validation."""
+
+
+class AdmissionJournal:
+    """Append-only, checksummed, fsynced admission log.
+
+    ``fault`` takes a :class:`~repro.runtime.checkpoint.FaultPlan`;
+    when its ``truncate_journal_at`` ordinal is reached the freshly
+    appended record is chopped mid-payload, simulating a crash during
+    the append for the chaos suites.
+    """
+
+    def __init__(self, path, *, fault=None) -> None:
+        self.path = Path(path)
+        self._fault = fault
+        self._handle = None
+        self.appends = 0
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _open(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = open(self.path, "ab")
+            if fresh:
+                self._handle.write(JOURNAL_MAGIC)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+        return self._handle
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        data = _LEN.pack(len(blob)) + hashlib.sha256(blob).digest() + blob
+        handle = self._open()
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.appends += 1
+        if self._fault is not None and self._fault.next_journal_truncation():
+            # Chop the tail of the record just written: the torn-append
+            # crash artifact, deterministically injected.
+            handle.flush()
+            size = self.path.stat().st_size
+            handle.truncate(size - max(1, len(blob) // 2))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def admit(
+        self,
+        *,
+        key: str,
+        client: str,
+        graph,
+        clamps,
+        seed: int,
+        max_steps: int,
+    ) -> None:
+        self.append(
+            {
+                "kind": "admit",
+                "key": key,
+                "client": client,
+                "graph": graph,
+                "clamps": clamps,
+                "seed": int(seed),
+                "max_steps": int(max_steps),
+            }
+        )
+
+    def done(self, key: str) -> None:
+        self.append({"kind": "done", "key": key})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+    def replay(self, *, repair: bool = False) -> Tuple[List[Dict[str, Any]], bool]:
+        """Read back every intact record.
+
+        Returns ``(records, tail_torn)``.  A truncated or checksum-failed
+        *final* record is the expected artifact of a crash mid-append:
+        it is dropped, reported through ``tail_torn`` and — with
+        ``repair=True`` — truncated off the file so subsequent appends
+        land on a clean tail.  A bad file magic or a corrupt record
+        *followed by more data* is not a crash artifact and raises
+        :class:`JournalCorruptError`.
+        """
+        if not self.path.exists():
+            return [], False
+        data = self.path.read_bytes()
+        if not data:
+            return [], False
+        if not data.startswith(JOURNAL_MAGIC):
+            raise JournalCorruptError(f"{self.path} is not an admission journal (bad magic)")
+        records: List[Dict[str, Any]] = []
+        offset = len(JOURNAL_MAGIC)
+        good_end = offset
+        torn = False
+        while offset < len(data):
+            reason: Optional[str] = None
+            head_end = offset + _LEN.size + _SHA_BYTES
+            if head_end > len(data):
+                reason = "truncated record header"
+            else:
+                (length,) = _LEN.unpack(data[offset : offset + _LEN.size])
+                digest = data[offset + _LEN.size : head_end]
+                end = head_end + length
+                if end > len(data):
+                    reason = "truncated record payload"
+                elif hashlib.sha256(data[head_end:end]).digest() != digest:
+                    reason = "record checksum mismatch"
+            if reason is not None:
+                torn = True
+                break  # candidate torn tail; everything before it is good
+            records.append(pickle.loads(data[head_end:end]))
+            offset = end
+            good_end = offset
+        if torn and good_end < len(data):
+            mid_file = False
+            # Distinguish "torn tail" from "corruption mid-file": if the
+            # bytes past the last good record parse as a valid record at
+            # *some* later point we cannot trust the file at all.
+            probe = good_end
+            head_end = probe + _LEN.size + _SHA_BYTES
+            if head_end <= len(data):
+                (length,) = _LEN.unpack(data[probe : probe + _LEN.size])
+                end = head_end + length
+                if end < len(data):
+                    mid_file = True
+            if mid_file:
+                raise JournalCorruptError(
+                    f"{self.path}: corrupt record at offset {good_end} with data beyond it"
+                )
+            if repair:
+                self.close()
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(good_end)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        return records, torn

@@ -90,6 +90,16 @@ class MetricsSnapshot:
     latency_steps_p99: float
     #: Clock time elapsed since the service started.
     elapsed: float
+    #: Engine checkpoints written (crash-safe snapshots of the batch).
+    checkpoints: int = 0
+    #: Successful state restores performed at startup (0 or 1).
+    restores: int = 0
+    #: Live batch rows resurrected from the restored checkpoint.
+    restored_rows: int = 0
+    #: Admissions re-enqueued from the write-ahead journal at startup.
+    replayed: int = 0
+    #: Snapshots that failed validation and were skipped during restore.
+    checkpoint_failures: int = 0
 
     def as_dict(self) -> Mapping[str, float]:
         """The snapshot as a JSON-ready mapping (benchmark emission)."""
@@ -113,6 +123,11 @@ class MetricsRecorder:
         self.latencies: List[float] = []
         self.step_latencies: List[int] = []
         self.started_at: float = 0.0
+        self.checkpoints = 0
+        self.restores = 0
+        self.restored_rows = 0
+        self.replayed = 0
+        self.checkpoint_failures = 0
 
     # ------------------------------------------------------------------ #
     # Event hooks (called by the service)
@@ -145,6 +160,16 @@ class MetricsRecorder:
 
     def record_cache_hit(self) -> None:
         self.cache_hits += 1
+
+    def record_checkpoint(self) -> None:
+        self.checkpoints += 1
+
+    def record_restore(self, *, rows: int, replayed: int, failures: int) -> None:
+        """Book one successful startup recovery."""
+        self.restores += 1
+        self.restored_rows += int(rows)
+        self.replayed += int(replayed)
+        self.checkpoint_failures += int(failures)
 
     def record_coalesced(self) -> None:
         self.coalesced += 1
@@ -185,4 +210,9 @@ class MetricsRecorder:
             latency_steps_p50=nearest_rank_percentile(self.step_latencies, 0.50),
             latency_steps_p99=nearest_rank_percentile(self.step_latencies, 0.99),
             elapsed=elapsed,
+            checkpoints=self.checkpoints,
+            restores=self.restores,
+            restored_rows=self.restored_rows,
+            replayed=self.replayed,
+            checkpoint_failures=self.checkpoint_failures,
         )

@@ -187,6 +187,11 @@ class _Ticket:
     waiters: List[_Waiter] = field(default_factory=list)
     #: ``queued`` -> ``running`` -> ``done``; ``dead`` = abandoned while queued.
     state: str = "queued"
+    #: Resurrected from a checkpoint / journal replay.  Recovered
+    #: tickets start with no waiters (their clients died with the old
+    #: process) but must run to completion anyway: their results land in
+    #: the memo / cache, where the supervisor's resubmissions find them.
+    recovered: bool = False
 
 
 class ServePolicy:
@@ -241,6 +246,24 @@ class SolveService:
         Scheduler steps advanced between asyncio yields (defaults to
         ``check_interval``): the granularity at which new submissions,
         cancellations and step-waiters are noticed.
+    checkpoint_dir / checkpoint_every:
+        With a directory set, the live engine state (plus every running
+        ticket's identity) is snapshotted crash-safely every
+        ``checkpoint_every`` steps — default ``10 * check_interval`` —
+        through :class:`~repro.runtime.checkpoint.CheckpointStore`.
+    journal_path:
+        Write-ahead admission journal (:class:`~repro.serve.journal.AdmissionJournal`):
+        every content-keyed admission is durable before it is queued,
+        every completion is retired with a ``done`` record.
+    fault:
+        A :class:`~repro.runtime.checkpoint.FaultPlan` injecting
+        deterministic crashes / torn writes for the chaos suites.
+    recover:
+        On construction, restore the newest readable checkpoint and
+        re-enqueue unfinished journaled admissions (default).  Recovered
+        work re-runs under its content-derived seed, so results are
+        bit-identical to the uninterrupted run; the supervisor
+        (:mod:`repro.serve.supervisor`) collects them by resubmission.
     """
 
     def __init__(
@@ -260,6 +283,11 @@ class SolveService:
         step_seconds: float = 1e-3,
         yield_steps: Optional[int] = None,
         synapse_cache_size: int = 64,
+        checkpoint_dir=None,
+        checkpoint_every: Optional[int] = None,
+        journal_path=None,
+        fault=None,
+        recover: bool = True,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
@@ -320,6 +348,28 @@ class SolveService:
         self._started = False
 
         self._metrics = MetricsRecorder()
+
+        # Durability plumbing: periodic engine checkpoints plus a
+        # write-ahead admission journal (both optional, both fed by the
+        # same deterministic FaultPlan in the chaos suites).
+        if checkpoint_every is not None and int(checkpoint_every) < 1:
+            raise ValueError("checkpoint_every must be positive")
+        self._fault = fault
+        self._ckpt_every = (
+            int(checkpoint_every) if checkpoint_every is not None else 10 * self._check_interval
+        )
+        self._ckpt_store = None
+        if checkpoint_dir is not None:
+            from ..runtime.checkpoint import CheckpointStore
+
+            self._ckpt_store = CheckpointStore(checkpoint_dir, kind="serve", fault=fault)
+        self._journal = None
+        if journal_path is not None:
+            from .journal import AdmissionJournal
+
+            self._journal = AdmissionJournal(journal_path, fault=fault)
+        if recover and (self._ckpt_store is not None or self._journal is not None):
+            self._recover()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -438,6 +488,17 @@ class SolveService:
             )
             if key is not None:
                 self._inflight[key] = ticket
+                if self._journal is not None:
+                    # Write-ahead: the admission is durable before the
+                    # client can observe it as accepted.
+                    self._journal.admit(
+                        key=key,
+                        client=client,
+                        graph=graph,
+                        clamps=resolved,
+                        seed=request_seed,
+                        max_steps=budget,
+                    )
             self._enqueue(client, ticket)
         self._wake.set()
         try:
@@ -530,6 +591,8 @@ class SolveService:
         task, self._task = self._task, None
         if task is None or task.done():
             self._abort_outstanding()
+            if self._journal is not None:
+                self._journal.close()
             return
         if drain:
             self._draining = True
@@ -542,6 +605,8 @@ class SolveService:
             except asyncio.CancelledError:
                 pass
         self._abort_outstanding()
+        if self._journal is not None:
+            self._journal.close()
 
     async def __aenter__(self) -> "SolveService":
         self._ensure_started()
@@ -652,6 +717,11 @@ class SolveService:
 
     @staticmethod
     def _has_live_waiters(ticket: _Ticket) -> bool:
+        if ticket.recovered and ticket.state in ("queued", "running"):
+            # No client of *this* process awaits a recovered ticket, but
+            # its result is owed to the crashed process's clients (the
+            # supervisor resubmits them); it always runs to completion.
+            return True
         return any(not w.cancelled and not w.future.done() for w in ticket.waiters)
 
     def _expire_waiters(self, ticket: _Ticket, now: float) -> None:
@@ -703,6 +773,8 @@ class SolveService:
             # deterministic, so "unsolved within this budget under this
             # seed" is the request's true answer.
             self._store(ticket.key, result)
+            if self._journal is not None:
+                self._journal.done(ticket.key)
         status = ServeStatus.SOLVED if result.solved else ServeStatus.UNSOLVED
         for waiter in ticket.waiters:
             self._resolve_waiter(waiter, ticket, status, result)
@@ -712,6 +784,109 @@ class SolveService:
         ticket.state = "done"
         if ticket.key is not None:
             self._inflight.pop(ticket.key, None)
+
+    # ------------------------------------------------------------------ #
+    # Durability: checkpoints, write-ahead journal, startup recovery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ticket_descriptor(ticket: _Ticket) -> dict:
+        """The picklable identity of one live ticket (no waiters/futures)."""
+        return {
+            "key": ticket.key,
+            "graph_digest": ticket.graph_digest,
+            "graph": ticket.graph,
+            "clamps": ticket.clamps,
+            "seed": ticket.seed,
+            "max_steps": ticket.max_steps,
+        }
+
+    def _save_checkpoint(self) -> None:
+        """Snapshot the live engine plus every running ticket's identity."""
+        payloads = [self._ticket_descriptor(row.payload) for row in self._engine.rows]
+        self._ckpt_store.save(
+            self._step,
+            {
+                "num_neurons": self._num_neurons,
+                "engine": self._engine.export_state(payloads=payloads),
+            },
+        )
+        self._metrics.record_checkpoint()
+
+    def _recover(self) -> None:
+        """Resurrect state from the newest checkpoint plus the journal.
+
+        Corrupt or torn snapshots are skipped (typed failures collected
+        by the store and counted in the metrics) in favour of the next
+        older good one; journaled admissions that neither finished
+        (``done`` record), survived into the restored batch, nor already
+        sit in the result cache are re-enqueued as recovered tickets.
+        Recovered work re-runs under its original content-derived seed,
+        so every result is bit-identical to the uninterrupted run's.
+        """
+        records = []
+        done_keys = set()
+        if self._journal is not None:
+            records, _torn = self._journal.replay(repair=True)
+            done_keys = {r["key"] for r in records if r["kind"] == "done"}
+        restored = None
+        failures = 0
+        if self._ckpt_store is not None:
+            restored = self._ckpt_store.load_latest()
+            failures = len(self._ckpt_store.failures)
+        restored_rows = 0
+        if restored is not None:
+            _, payload = restored
+            self._num_neurons = payload["num_neurons"]
+            tickets: List[_Ticket] = []
+            networks = []
+            for row_state in payload["engine"]["rows"]:
+                desc = row_state["payload"]
+                ticket = _Ticket(
+                    key=desc["key"],
+                    graph_digest=desc["graph_digest"],
+                    graph=desc["graph"],
+                    clamps=desc["clamps"],
+                    seed=desc["seed"],
+                    max_steps=desc["max_steps"],
+                    state="running",
+                    recovered=True,
+                )
+                tickets.append(ticket)
+                networks.append(self._build_network(ticket))
+            self._engine.restore_state(payload["engine"], networks)
+            for row, ticket in zip(self._engine.rows, tickets):
+                row.payload = ticket
+                if ticket.key is not None:
+                    self._inflight[ticket.key] = ticket
+            restored_rows = len(tickets)
+        replayed = 0
+        for record in records:
+            if record.get("kind") != "admit":
+                continue
+            key = record["key"]
+            if key in done_keys or key in self._inflight:
+                continue
+            if self._lookup_cached(key) is not None:
+                continue
+            graph = record["graph"]
+            ticket = _Ticket(
+                key=key,
+                graph_digest=derive_cache_key("serve-graph", graph),
+                graph=graph,
+                clamps=record["clamps"],
+                seed=record["seed"],
+                max_steps=record["max_steps"],
+                recovered=True,
+            )
+            self._inflight[key] = ticket
+            self._enqueue(record["client"], ticket)
+            if self._num_neurons is None:
+                self._num_neurons = graph.num_neurons
+            replayed += 1
+        if restored is not None or replayed:
+            self._metrics.record_restore(rows=restored_rows, replayed=replayed, failures=failures)
+        elif failures:
+            self._metrics.checkpoint_failures += failures
 
     # ------------------------------------------------------------------ #
     # Batch-row construction (the bit-exactness-critical path)
@@ -853,10 +1028,17 @@ class SolveService:
         """
         checkpoint = self._engine.step()
         self._metrics.record_step(self._engine.num_rows)
-        if checkpoint is None:
-            return
-        decision = self._policy.on_checkpoint(checkpoint)
-        self._engine.recompose(decision.keep, decision.admissions)
+        if checkpoint is not None:
+            decision = self._policy.on_checkpoint(checkpoint)
+            self._engine.recompose(decision.keep, decision.admissions)
+        if self._ckpt_store is not None and self._step % self._ckpt_every == 0:
+            self._save_checkpoint()
+        if self._fault is not None and self._fault.should_crash(self._step):
+            import os
+
+            from ..runtime.checkpoint import FaultPlan
+
+            os._exit(FaultPlan.CRASH_EXIT_CODE)
 
     def _checkpoint_decision(self, checkpoint) -> SlotDecision:
         """Decide which rows finish, expire or survive one checkpoint."""

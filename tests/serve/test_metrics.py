@@ -144,7 +144,7 @@ def test_load_shed_error_counts_in_ledger():
 # --------------------------------------------------------------------- #
 def test_latency_percentiles_deterministic_across_runs():
     def run():
-        _, metrics = run_open_loop_sync(
+        _, metrics, _ = run_open_loop_sync(
             SPEC,
             capacity=3,
             check_interval=10,
