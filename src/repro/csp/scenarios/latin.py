@@ -60,7 +60,7 @@ def latin_instance(
     if not 0.0 <= clamp_fraction <= 1.0:
         raise ValueError("clamp_fraction must be within [0, 1]")
     square = random_latin_square(n, seed=seed)
-    rng = np.random.default_rng(seed + 1)
+    rng = np.random.default_rng(seed + 1)  # reprolint: disable=RL002 -- frozen corpus offset
     positions = [(r, c) for r in range(n) for c in range(n)]
     rng.shuffle(positions)
     num_clamps = max(1, int(clamp_fraction * n * n))

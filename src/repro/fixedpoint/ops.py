@@ -11,6 +11,7 @@ result in an explicit output format.
 All functions accept scalars or NumPy arrays and broadcast like NumPy.
 """
 
+# reprolint: exact-int-file -- every op here is exact 64-bit integer arithmetic
 from __future__ import annotations
 
 from typing import Union

@@ -28,6 +28,7 @@ _MASK16 = 0xFFFF
 _MASK32 = 0xFFFFFFFF
 
 
+# reprolint: exact-int -- bit-level VU word packing
 def pack_vu(v_raw: ArrayLike, u_raw: ArrayLike) -> ArrayLike:
     """Pack raw Q7.8 payloads ``v`` and ``u`` into an unsigned 32-bit word."""
     v_bits = np.asarray(Q7_8.to_unsigned(v_raw), dtype=np.int64)
@@ -38,6 +39,7 @@ def pack_vu(v_raw: ArrayLike, u_raw: ArrayLike) -> ArrayLike:
     return word
 
 
+# reprolint: exact-int -- bit-level VU word unpacking
 def unpack_vu(word: ArrayLike) -> Tuple[ArrayLike, ArrayLike]:
     """Unpack a 32-bit VU word into signed raw Q7.8 payloads ``(v, u)``."""
     w = np.asarray(word, dtype=np.int64) & _MASK32

@@ -518,6 +518,7 @@ def csp_solve_rate(
     from ..csp.solver import solve_instances
 
     params = dict(scenario_params or {})
+    # reprolint: disable-next-line=RL002 -- instance-identity seeds (frozen corpus)
     instances = [make_instance(scenario, seed=seed + i, **params) for i in range(count)]
     if batched:
         results = solve_instances(
@@ -581,6 +582,7 @@ def csp_portfolio_solve_rate(
 
     params = dict(scenario_params or {})
     pcfg = portfolio if portfolio is not None else PortfolioConfig()
+    # reprolint: disable-next-line=RL002 -- instance-identity seeds (frozen corpus)
     instances = [make_instance(scenario, seed=seed + i, **params) for i in range(count)]
     seeds = [derive_task_seed(pcfg.seed, i) for i in range(count)]
     portfolio_results = solve_instances_portfolio(

@@ -233,7 +233,7 @@ class _NetworkBackend:
 # ---------------------------------------------------------------------- #
 # ISA-level backends (functional and cycle-accurate)
 # ---------------------------------------------------------------------- #
-def _build_workload(request: RunRequest):
+def _build_workload(request: RunRequest) -> Any:
     from ..codegen import build_eighty_twenty_workload, build_sudoku_workload
 
     options = dict(request.options)

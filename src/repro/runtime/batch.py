@@ -64,7 +64,10 @@ scratch-buffer reimplementation of the integer datapath that is
 bit-identical to :func:`repro.sim.npu.izhikevich_update_raw` by
 construction (integer arithmetic is exact, so reassociating the adds and
 reusing buffers cannot change results); ``tests/runtime`` locks the
-equivalence down with randomized cross-checks.
+equivalence down with randomized cross-checks.  The pure-integer regions
+carrying that proof are marked ``# reprolint: exact-int`` — reprolint's
+RL003 rule (``docs/LINTING.md``) fails the lint on any float literal,
+true division or float cast introduced inside them.
 """
 
 from __future__ import annotations
@@ -133,6 +136,7 @@ def _quantize_q15_16(
     return out
 
 
+# reprolint: exact-int -- pure int64 shift network (decay path)
 def _decay_raw_inplace(
     isyn_raw: np.ndarray, tau_select: int, h_shift: int, delta: np.ndarray, tmp: np.ndarray
 ) -> np.ndarray:
@@ -174,6 +178,7 @@ def _quantize_scaled_q15_16(z: np.ndarray, out: np.ndarray, scratch: np.ndarray)
     return out
 
 
+# reprolint: exact-int -- fixed-point Izhikevich substep, all-int64
 class _FixedBatchKernel:
     """Scratch-buffer fixed-point Izhikevich substep over ``(B, N)`` state.
 
@@ -200,7 +205,7 @@ class _FixedBatchKernel:
         self.pin_voltage = pin_voltage
         self._alloc_scratch(a_raw.shape)
 
-    def _alloc_scratch(self, shape) -> None:
+    def _alloc_scratch(self, shape: tuple) -> None:
         self._v_acc = np.empty(shape, dtype=np.int64)
         self._u_acc = np.empty(shape, dtype=np.int64)
         self._dv = np.empty(shape, dtype=np.int64)
@@ -432,6 +437,7 @@ class _SynapseBatch:
             return int(col_counts[0])
         return None
 
+    # reprolint: exact-int -- integer scatter-add (float64 weights waived in _build_integer)
     def _gather_sum(self, fired: np.ndarray, out_flat: np.ndarray) -> bool:
         """Scatter-add the fired columns' entries into ``out_flat`` (B*N).
 
@@ -472,6 +478,7 @@ class _SynapseBatch:
         np.copyto(out_flat, sums, casting="unsafe")
         return True
 
+    # reprolint: exact-int -- Q15.16 integer propagation path
     def propagate_raw(self, fired: np.ndarray) -> np.ndarray:
         """Raw Q15.16 synaptic current ``(B, N)`` (integer path only)."""
         out = self._raw_out
@@ -974,8 +981,9 @@ class BatchedNetwork:
         is :meth:`repro.runtime.slots.SlotEngine.recompose`, which owns
         the retain-before-extend composition order and its edge guards
         for the solver, portfolio and serve layers alike; direct calls
-        from outside ``repro/runtime/`` are rejected by
-        ``tools/check_layering.py``.
+        from outside ``repro/runtime/`` are rejected by reprolint's
+        RL001 layering rule (``python -m tools.reprolint``, see
+        ``docs/LINTING.md``).
         """
         keep = np.asarray(keep, dtype=np.int64)
         if keep.size == 0:
@@ -1039,7 +1047,7 @@ class BatchedNetwork:
         **Layering seam.**  As with :meth:`retain`, the sanctioned
         ``src/repro`` caller is
         :meth:`repro.runtime.slots.SlotEngine.recompose` (enforced by
-        ``tools/check_layering.py``); the slot engine uses the pair to
+        reprolint rule RL001, ``docs/LINTING.md``); the slot engine uses the pair to
         refill freed batch slots with fresh admissions mid-run.
         """
         if not networks:

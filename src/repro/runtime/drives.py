@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -457,7 +457,7 @@ class CompiledScaledDrive(CompiledDrive):
         self.batch_shape = self._scales.shape
 
 
-def _spec_of(network: SNNNetwork):
+def _spec_of(network: SNNNetwork) -> Optional[Any]:
     """The drive spec of a network's external provider, or ``None``."""
     provider = network.external_input
     if provider is None:

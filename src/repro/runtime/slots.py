@@ -28,7 +28,8 @@ The engine's invariants (every consumer inherits them):
   (:meth:`SlotEngine.recompose`): surviving rows' network state and
   noise streams are untouched by their neighbours' departures and
   arrivals.  Direct ``retain``/``extend`` calls outside
-  ``repro/runtime/`` are forbidden (``tools/check_layering.py``).
+  ``repro/runtime/`` are forbidden (reprolint rule RL001,
+  ``docs/LINTING.md``).
 * **Checkpoint cadence.**  Rows are decoded when their local step hits
   the check interval or their local budget — the union mask over rows
   decides when a checkpoint fires, so mixed-offset batches check each

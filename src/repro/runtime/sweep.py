@@ -329,7 +329,7 @@ def sweep_task_key(fn: Callable[[SweepTask], Any], task: SweepTask) -> Optional[
 # ---------------------------------------------------------------------- #
 # Worker process
 # ---------------------------------------------------------------------- #
-def _put_msg(out_queue, msg: tuple) -> None:
+def _put_msg(out_queue: Any, msg: tuple) -> None:
     # The result channel is a SimpleQueue on purpose: its put() writes
     # synchronously in the calling thread, so a worker that dies inside a
     # task fn can never lose an already-sent lease/result message the way
@@ -337,7 +337,7 @@ def _put_msg(out_queue, msg: tuple) -> None:
     out_queue.put(pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL))
 
 
-def _poll_get(result_queue, timeout: float):
+def _poll_get(result_queue: Any, timeout: float) -> Any:
     """Non-blocking-ish read from a ``SimpleQueue``; ``None`` on timeout."""
     try:
         if result_queue._reader.poll(timeout):
@@ -349,7 +349,7 @@ def _poll_get(result_queue, timeout: float):
 
 def _run_task_once(
     fn: Callable[[SweepTask], Any], task: SweepTask, cache: Optional[RunResultCache]
-):
+) -> tuple:
     """Execute (or cache-serve) one task.
 
     Returns ``(value, cached, stored, uncacheable, duration)``.
@@ -369,7 +369,13 @@ def _run_task_once(
     return value, False, stored, uncacheable, time.perf_counter() - started
 
 
-def _fabric_worker(worker_id, fn_blob, task_queue, result_queue, cache_root) -> None:
+def _fabric_worker(
+    worker_id: int,
+    fn_blob: bytes,
+    task_queue: Any,
+    result_queue: Any,
+    cache_root: Optional[str],
+) -> None:
     """Pull chunk leases until poisoned; one result message per task."""
     fn = pickle.loads(fn_blob)
     cache = RunResultCache(cache_root) if cache_root else None
@@ -663,7 +669,7 @@ class SweepExecutor:
         max_respawns = 2 * num_workers
         interrupted: List[int] = []
 
-        def handle_message(msg) -> None:
+        def handle_message(msg: tuple) -> None:
             """Book one worker message (shared by the run and drain loops)."""
             nonlocal error
             kind = msg[0]
@@ -776,7 +782,7 @@ class SweepExecutor:
         # keeps the process's existing behaviour.
         previous_handlers: Dict[int, Any] = {}
 
-        def _on_signal(signum, frame) -> None:
+        def _on_signal(signum: int, frame: Any) -> None:
             interrupted.append(signum)
 
         if threading.current_thread() is threading.main_thread():
@@ -878,7 +884,7 @@ class SweepExecutor:
         )
 
     @staticmethod
-    def _drain_inline(task_queue) -> None:
+    def _drain_inline(task_queue: Any) -> None:
         """Empty the shared queue so joined feeder threads cannot block."""
         while True:
             try:
@@ -887,7 +893,7 @@ class SweepExecutor:
                 break
 
     @staticmethod
-    def _shutdown(workers: Dict[int, Any], task_queue, result_queue) -> None:
+    def _shutdown(workers: Dict[int, Any], task_queue: Any, result_queue: Any) -> None:
         for _ in range(len(workers) + 1):
             try:
                 task_queue.put_nowait(None)

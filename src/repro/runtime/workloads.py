@@ -301,6 +301,7 @@ def pooled_sudoku_sweep(
     executor = executor if executor is not None else SweepExecutor(mode="serial")
     param_sets = [
         {
+            # reprolint: disable-next-line=RL002 -- documented mix_seeds=False legacy opt-out
             "puzzle_seed": derive_task_seed(base_seed, i) if mix_seeds else base_seed + i,
             "target_clues": target_clues,
             "max_steps": max_steps,
@@ -399,7 +400,7 @@ def pooled_csp_sweep(
     param_sets = [
         {
             "scenario": scenario,
-            "instance_seed": base_seed + i,
+            "instance_seed": base_seed + i,  # reprolint: disable=RL002 -- instance identity
             "solver_seed": solver_seed,
             "backend": backend,
             "max_steps": max_steps,
@@ -439,8 +440,8 @@ def csp_portfolio_sweep(
     count: int,
     *,
     base_seed: int = 0,
-    portfolio=None,
-    config=None,
+    portfolio: Optional[Any] = None,
+    config: Optional[Any] = None,
     backend: str = "fixed",
     max_steps: int = 3000,
     check_interval: int = 10,
@@ -465,6 +466,7 @@ def csp_portfolio_sweep(
     from ..csp.scenarios import make_instance
 
     instances = [
+        # reprolint: disable-next-line=RL002 -- instance-identity seeds (frozen corpus)
         make_instance(scenario, seed=base_seed + i, **dict(scenario_params or {}))
         for i in range(count)
     ]
@@ -507,7 +509,7 @@ def serve_load_sweep(
     retry_base_steps: float = 8.0,
     retry_cap_steps: float = 128.0,
     retry_deadline_steps: Optional[float] = None,
-    config=None,
+    config: Optional[Any] = None,
     backend: str = "fixed",
     check_interval: int = 10,
     cache: Optional[RunResultCache] = None,

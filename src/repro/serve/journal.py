@@ -27,7 +27,10 @@ import os
 import pickle
 import struct
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from ..runtime.checkpoint import FaultPlan
 
 __all__ = ["AdmissionJournal", "JournalCorruptError", "JournalError"]
 
@@ -54,7 +57,7 @@ class AdmissionJournal:
     the append for the chaos suites.
     """
 
-    def __init__(self, path, *, fault=None) -> None:
+    def __init__(self, path: Union[str, Path], *, fault: Optional["FaultPlan"] = None) -> None:
         self.path = Path(path)
         self._fault = fault
         self._handle = None
@@ -97,8 +100,8 @@ class AdmissionJournal:
         *,
         key: str,
         client: str,
-        graph,
-        clamps,
+        graph: Any,
+        clamps: Any,
         seed: int,
         max_steps: int,
     ) -> None:

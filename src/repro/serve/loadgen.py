@@ -81,6 +81,7 @@ class OpenLoopLoad:
 def build_instance_pool(spec: OpenLoopLoad) -> List[Tuple[ConstraintGraph, Dict[str, int]]]:
     """The spec's deterministic pool of distinct instances."""
     return [
+        # reprolint: disable-next-line=RL002 -- instance-identity seeds; pool is the replay key
         make_instance(spec.scenario, seed=spec.seed + i, **dict(spec.scenario_params))
         for i in range(max(1, spec.unique_instances))
     ]

@@ -55,7 +55,12 @@ import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from ..runtime.checkpoint import FaultPlan
 
 import numpy as np
 
@@ -283,10 +288,10 @@ class SolveService:
         step_seconds: float = 1e-3,
         yield_steps: Optional[int] = None,
         synapse_cache_size: int = 64,
-        checkpoint_dir=None,
+        checkpoint_dir: Union[str, "Path", None] = None,
         checkpoint_every: Optional[int] = None,
-        journal_path=None,
-        fault=None,
+        journal_path: Union[str, "Path", None] = None,
+        fault: Optional["FaultPlan"] = None,
         recover: bool = True,
     ) -> None:
         if capacity < 1:
@@ -308,6 +313,7 @@ class SolveService:
         self._yield_steps = int(yield_steps) if yield_steps is not None else self._check_interval
         self._synapse_cache_size = int(synapse_cache_size)
         if clock == "monotonic":
+            # reprolint: disable-next-line=RL002 -- injectable-clock seam (SolveService(clock=...))
             self._clock: Callable[[], float] = time.monotonic
         elif clock == "steps":
             self._clock = lambda: self._step * float(step_seconds)
@@ -612,7 +618,7 @@ class SolveService:
         self._ensure_started()
         return self
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         await self.stop(drain=exc_type is None)
 
     # ------------------------------------------------------------------ #
@@ -891,7 +897,7 @@ class SolveService:
     # ------------------------------------------------------------------ #
     # Batch-row construction (the bit-exactness-critical path)
     # ------------------------------------------------------------------ #
-    def _build_network(self, ticket: _Ticket):
+    def _build_network(self, ticket: _Ticket) -> SpikingCSPSolver:
         """A fresh solver network for one admission.
 
         Graphs with identical structure share one synapse build (keyed
@@ -1040,7 +1046,7 @@ class SolveService:
 
             os._exit(FaultPlan.CRASH_EXIT_CODE)
 
-    def _checkpoint_decision(self, checkpoint) -> SlotDecision:
+    def _checkpoint_decision(self, checkpoint: SlotCheckpoint) -> SlotDecision:
         """Decide which rows finish, expire or survive one checkpoint."""
         now = self._now()
         local = checkpoint.local

@@ -36,7 +36,7 @@ class SupervisorError(RuntimeError):
     """The supervised service could not be (re)started or has given up."""
 
 
-def _service_main(conn, service_kwargs: Dict[str, Any]) -> None:
+def _service_main(conn: Any, service_kwargs: Dict[str, Any]) -> None:
     """Child-process entry point: one service, one command pipe."""
     import asyncio
 
@@ -114,7 +114,7 @@ class ServeSupervisor:
         self,
         *,
         service_kwargs: Optional[Dict[str, Any]] = None,
-        fault=None,
+        fault: Optional[Any] = None,
         max_restarts: int = 5,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
@@ -161,7 +161,7 @@ class ServeSupervisor:
         self._listener = threading.Thread(target=self._listen, args=(parent_conn,), daemon=True)
         self._listener.start()
 
-    def _listen(self, conn) -> None:
+    def _listen(self, conn: Any) -> None:
         """Drain child messages; a broken pipe means the child died."""
         while True:
             try:
@@ -182,7 +182,7 @@ class ServeSupervisor:
         if not self._stopped.is_set():
             self._on_child_death(conn)
 
-    def _on_child_death(self, conn) -> None:
+    def _on_child_death(self, conn: Any) -> None:
         """Respawn with exponential backoff and resubmit pending work."""
         with self._lock:
             if self._conn is not conn:  # a newer incarnation took over
@@ -271,7 +271,7 @@ class ServeSupervisor:
         self.start()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.stop()
 
     # ------------------------------------------------------------------ #
@@ -279,8 +279,8 @@ class ServeSupervisor:
     # ------------------------------------------------------------------ #
     def submit(
         self,
-        graph,
-        clamps=(),
+        graph: Any,
+        clamps: Any = (),
         *,
         client: str = "default",
         seed: Optional[int] = None,

@@ -104,11 +104,22 @@ def test_deadline_expiry_returns_typed_timeout():
 
 
 def test_running_deadline_expires_at_checkpoint():
+    # A near-threshold instance (the hard-pool parameters from
+    # benchmarks/bench_csp_solver.py) needs hundreds of steps, so it
+    # cannot finish before the ~35-step deadline regardless of the
+    # code-fingerprint-derived solve seed (request keys fold in
+    # repro.runtime.cache.code_fingerprint, so *any* source change
+    # reshuffles trajectories — an easy instance here makes the test
+    # flake across unrelated commits).
+    hard = make_instance(
+        "coloring", seed=901, num_vertices=40, num_colors=4, edge_probability=0.45
+    )
+
     async def main():
         service = SolveService(capacity=1, check_interval=CHECK_INTERVAL, seed=1, clock="steps")
         async with service:
             result = await service.submit(
-                *_instance(901), client="slow", max_steps=100_000, deadline=0.035
+                *hard, client="slow", max_steps=100_000, deadline=0.035
             )
             await service.stop(drain=True)
         return result, service.metrics()

@@ -1,0 +1,5 @@
+"""Repo tooling (lint/CI helpers).
+
+A package so ``python -m tools.reprolint`` works from the repo root and
+the test suite can import the lint framework directly.
+"""

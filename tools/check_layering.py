@@ -1,103 +1,51 @@
 #!/usr/bin/env python3
-"""Layering lint: batch recomposition belongs to the slot engine.
+"""Deprecated shim — the layering lint now lives in ``tools.reprolint`` (RL001).
 
-``BatchedNetwork.retain`` / ``BatchedNetwork.extend`` are the two
-mutators whose calling convention carries the bit-exactness contract
-(retain survivors *before* extending with admissions, ``extend([])``
-no-op, fresh batch when nothing survives).  Those invariants are
-centralised in :meth:`repro.runtime.slots.SlotEngine.recompose`; a
-direct call anywhere else in ``src/repro`` re-opens the drift the
-PR-7 refactor closed.  This lint machine-enforces the single-owner
-seam: it fails when application code outside ``src/repro/runtime/``
-calls ``retain``/``extend`` on a batch.
+This entry point used to implement the batch ``retain``/``extend``
+seam check directly.  That check is now the seam half of reprolint's
+RL001 layering rule, which additionally enforces the import-layer map
+(``isa``/``sim``/``fixedpoint``/``snn`` < ``runtime`` < ``csp`` <
+``serve``).  See ``docs/LINTING.md``.
 
-Detection is AST-based and deliberately conservative:
-
-* any ``<expr>.retain(...)`` call — ``retain`` is the batch engine's
-  vocabulary; nothing else in the tree defines it;
-* ``<expr>.extend(...)`` calls whose receiver looks like a batch
-  (``extend`` is also a list method, so the receiver's dotted source
-  must match ``batch``/``BatchedNetwork``, e.g. ``self._batch.extend``
-  or ``BatchedNetwork.extend``).
-
-Usage:  python tools/check_layering.py [src-root]
-        (defaults to src/repro; tests and tools are exempt — the
-        engine's own suites exercise the seam directly)
-
-Exit status: 0 when the layering holds, 1 otherwise.
+The shim keeps the historical CLI contract for scripts that still call
+``python tools/check_layering.py``: it runs RL001 only, over ``src``,
+prints the findings in reprolint's format and exits 0/1.  New callers
+should invoke ``python -m tools.reprolint`` instead.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: The only package allowed to touch the batch mutators directly.
-ALLOWED_PREFIX = ("src", "repro", "runtime")
-
-#: Receiver pattern marking an ``.extend`` call as batch recomposition.
-_BATCH_RECEIVER_RE = re.compile(r"batch", re.IGNORECASE)
-
-
-def _dotted_source(node: ast.AST) -> str:
-    """The dotted-name source of a call receiver (best effort)."""
-    parts = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-    return ".".join(reversed(parts))
-
-
-def check_file(path: Path) -> list:
-    """``(path, line, message)`` violations in one source file."""
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    violations = []
-    for node in ast.walk(tree):
-        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
-            continue
-        method = node.func.attr
-        if method not in ("retain", "extend"):
-            continue
-        receiver = _dotted_source(node.func.value)
-        if method == "extend" and not _BATCH_RECEIVER_RE.search(receiver):
-            continue
-        violations.append(
-            (
-                path.relative_to(REPO_ROOT),
-                node.lineno,
-                f"{receiver or '<expr>'}.{method}(...) — batch recomposition is "
-                "owned by repro.runtime.slots.SlotEngine.recompose",
-            )
-        )
-    return violations
-
 
 def main(argv: list) -> int:
-    root = Path(argv[0]).resolve() if argv else REPO_ROOT / "src" / "repro"
-    if not root.is_dir():
-        print(f"check_layering: no such directory {root}", file=sys.stderr)
-        return 1
-    failures = []
-    checked = 0
-    for path in sorted(root.rglob("*.py")):
-        relative = path.relative_to(REPO_ROOT).parts
-        if relative[: len(ALLOWED_PREFIX)] == ALLOWED_PREFIX:
-            continue
-        checked += 1
-        failures.extend(check_file(path))
-    if failures:
-        print("check_layering: direct batch retain/extend outside repro.runtime:", file=sys.stderr)
-        for source, line, message in failures:
-            print(f"  {source}:{line}: {message}", file=sys.stderr)
-        return 1
-    print(f"check_layering: OK ({checked} files checked)")
-    return 0
+    # Running as ``python tools/check_layering.py`` puts tools/ (not the
+    # repo root) on sys.path[0]; make ``tools.reprolint`` importable.
+    if str(REPO_ROOT) not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT))
+    import dataclasses
+
+    from tools.reprolint.config import load_config
+    from tools.reprolint.engine import run_reprolint
+
+    print(
+        "check_layering: deprecated — use 'python -m tools.reprolint' (rule RL001)",
+        file=sys.stderr,
+    )
+    roots = tuple(argv) if argv else ("src",)
+    # Other rules' inline waivers look "unused" when only RL001 runs, so
+    # the stale-suppression check stays off in this compatibility path.
+    only_rl001 = dataclasses.replace(
+        load_config(REPO_ROOT),
+        disable=("RL002", "RL003", "RL004", "RL005"),
+        check_unused_suppressions=False,
+    )
+    result = run_reprolint(REPO_ROOT, roots, only_rl001)
+    print(result.render_text())
+    return 0 if result.ok else 1
 
 
 if __name__ == "__main__":

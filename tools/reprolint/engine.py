@@ -1,0 +1,303 @@
+"""reprolint engine: file model, suppression directives, runner, reports.
+
+Directives (comments, anywhere a comment is legal)::
+
+    # reprolint: disable=RL002 -- reason           (this line)
+    # reprolint: disable-next-line=RL001,RL004     (the following line)
+    # reprolint: disable-file=RL005                 (the whole file)
+    # reprolint: exact-int                          (RL003: next/this def or class)
+    # reprolint: exact-int-file                     (RL003: the whole file)
+
+Every ``disable*`` directive must suppress at least one finding, or it
+is itself reported (``RL000`` unused-suppression) — stale waivers are
+how invariants rot silently.  Exit codes: ``0`` clean, ``1`` findings,
+``2`` usage/config error.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .config import ReprolintConfig
+
+#: Framework-level findings (parse failures, unused suppressions,
+#: dangling region markers).  Not suppressible.
+FRAMEWORK_RULE = "RL000"
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*reprolint:\s*"
+    r"(?P<kind>disable-next-line|disable-file|disable|exact-int-file|exact-int)"
+    r"(?:\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+?))?"
+    r"\s*(?:--.*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: ``rule`` at ``path:line``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Directive:
+    """One parsed ``# reprolint:`` comment."""
+
+    kind: str
+    line: int
+    col: int
+    rules: Tuple[str, ...]
+    used: bool = False
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file plus its reprolint directives."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: Optional[ast.AST]
+    parse_error: Optional[str]
+    directives: List[Directive] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "SourceFile":
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return cls(path, rel, "", None, f"unreadable: {exc}")
+        tree: Optional[ast.AST] = None
+        error: Optional[str] = None
+        try:
+            tree = ast.parse(text, filename=rel)
+        except SyntaxError as exc:
+            error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return cls(path, rel, text, tree, error, directives=_parse_directives(text))
+
+    # ------------------------------------------------------------------ #
+    def suppression_for(self, rule: str, line: int) -> Optional[Directive]:
+        """The directive suppressing ``rule`` at ``line``, if any."""
+        for directive in self.directives:
+            if rule not in directive.rules:
+                continue
+            if directive.kind == "disable" and directive.line == line:
+                return directive
+            if directive.kind == "disable-next-line" and directive.line == line - 1:
+                return directive
+            if directive.kind == "disable-file":
+                return directive
+        return None
+
+    def exact_int_markers(self) -> List[Directive]:
+        return [d for d in self.directives if d.kind == "exact-int"]
+
+    def has_exact_int_file_marker(self) -> bool:
+        return any(d.kind == "exact-int-file" for d in self.directives)
+
+
+def _parse_directives(text: str) -> List[Directive]:
+    directives: List[Directive] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            (token.start[0], token.start[1], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Fall back to a line scan; good enough for directive comments,
+        # which conventionally sit alone or at end of line.
+        comments = [
+            (number, line.index("#"), line[line.index("#") :])
+            for number, line in enumerate(text.splitlines(), start=1)
+            if "#" in line
+        ]
+    for line, col, comment in comments:
+        match = _DIRECTIVE_RE.search(comment)
+        if not match:
+            continue
+        rules = tuple(
+            part.strip().upper()
+            for part in (match.group("rules") or "").split(",")
+            if part.strip()
+        )
+        directives.append(Directive(match.group("kind"), line, col, rules))
+    return directives
+
+
+# ---------------------------------------------------------------------- #
+# Runner
+# ---------------------------------------------------------------------- #
+@dataclass
+class LintResult:
+    """Outcome of one reprolint run."""
+
+    violations: List[Violation]
+    files_checked: int
+    rules_run: Tuple[str, ...]
+    roots: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for violation in self.violations:
+            totals[violation.rule] = totals.get(violation.rule, 0) + 1
+        return totals
+
+    def render_text(self) -> str:
+        lines = [violation.render() for violation in self.violations]
+        summary = ", ".join(f"{rule}={count}" for rule, count in sorted(self.counts().items()))
+        if self.violations:
+            lines.append(f"reprolint: {len(self.violations)} finding(s) [{summary}]")
+        else:
+            lines.append(
+                f"reprolint: OK ({self.files_checked} files, rules {', '.join(self.rules_run)})"
+            )
+        return "\n".join(lines)
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "tool": "reprolint",
+            "roots": list(self.roots),
+            "files_checked": self.files_checked,
+            "rules": list(self.rules_run),
+            "summary": self.counts(),
+            "violations": [violation.as_dict() for violation in self.violations],
+        }
+
+    def write_json_report(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_json(), indent=2, sort_keys=True) + "\n")
+
+
+def collect_files(
+    repo_root: Path, roots: Sequence[str], exclude: Sequence[str]
+) -> List[Tuple[Path, str]]:
+    """``(absolute, repo-relative-posix)`` for every lintable ``.py`` file."""
+    seen: Set[str] = set()
+    found: List[Tuple[Path, str]] = []
+    for root in roots:
+        base = (repo_root / root).resolve()
+        if base.is_file() and base.suffix == ".py":
+            paths: Iterable[Path] = [base]
+        elif base.is_dir():
+            paths = sorted(base.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such lint root: {root}")
+        for path in paths:
+            try:
+                rel = path.resolve().relative_to(repo_root.resolve()).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            if rel in seen or any(part in exclude for part in Path(rel).parts):
+                continue
+            seen.add(rel)
+            found.append((path, rel))
+    return found
+
+
+def run_reprolint(
+    repo_root: Path,
+    roots: Sequence[str],
+    config: ReprolintConfig,
+) -> LintResult:
+    """Lint ``roots`` (repo-relative) under ``repo_root`` with ``config``."""
+    from .rules import get_rules
+
+    rules = [rule for rule in get_rules() if rule.rule_id not in config.disable]
+    files = collect_files(repo_root, roots, config.exclude)
+    violations: List[Violation] = []
+    sources: List[SourceFile] = []
+    for path, rel in files:
+        source = SourceFile.load(path, rel)
+        sources.append(source)
+        if source.parse_error is not None:
+            violations.append(
+                Violation(FRAMEWORK_RULE, rel, 1, 0, f"cannot lint file ({source.parse_error})")
+            )
+            continue
+        for rule in rules:
+            for violation in rule.check(source, config):
+                directive = source.suppression_for(violation.rule, violation.line)
+                if directive is not None:
+                    directive.used = True
+                else:
+                    violations.append(violation)
+    if config.check_unused_suppressions:
+        for source in sources:
+            for directive in source.directives:
+                if directive.kind.startswith("disable") and not directive.used:
+                    violations.append(
+                        Violation(
+                            FRAMEWORK_RULE,
+                            source.rel,
+                            directive.line,
+                            directive.col,
+                            "unused suppression "
+                            f"({directive.kind}={','.join(directive.rules) or '<none>'}) — "
+                            "remove it or fix the rule list",
+                        )
+                    )
+    violations.sort(key=lambda v: (v.path, v.line, v.rule, v.col))
+    return LintResult(
+        violations=violations,
+        files_checked=len(files),
+        rules_run=tuple(rule.rule_id for rule in rules),
+        roots=tuple(roots),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Shared AST helpers used by several rules
+# ---------------------------------------------------------------------- #
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted source of an expression (``a.b.c`` -> "a.b.c")."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute, else ``None``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def in_scope(rel: str, prefixes: Sequence[str]) -> bool:
+    """Is repo-relative ``rel`` under any of the ``prefixes``?"""
+    return any(rel == prefix or rel.startswith(prefix.rstrip("/") + "/") for prefix in prefixes)

@@ -1,0 +1,57 @@
+"""Rule registry: each rule module registers one pluggable invariant check.
+
+A rule is a class with ``rule_id``, ``name``, ``description`` and a
+``check(source, config) -> list[Violation]`` method; registering is one
+decorator::
+
+    from . import register
+
+    @register
+    class MyRule:
+        rule_id = "RL042"
+        ...
+
+Rules must be pure functions of ``(source, config)`` — the engine owns
+file discovery, suppression handling and reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol
+
+from ..config import ReprolintConfig
+from ..engine import SourceFile, Violation
+
+
+class Rule(Protocol):
+    rule_id: str
+    name: str
+    description: str
+
+    def check(self, source: SourceFile, config: ReprolintConfig) -> List[Violation]: ...
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a rule (instantiated once) to the registry."""
+    instance = cls()
+    rule_id = instance.rule_id
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate reprolint rule id {rule_id!r}")
+    _REGISTRY[rule_id] = instance
+    return cls
+
+
+def get_rules() -> List[Rule]:
+    """All registered rules, ordered by rule id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+# Importing the rule modules populates the registry.
+from . import rl001_layering  # noqa: E402,F401
+from . import rl002_determinism  # noqa: E402,F401
+from . import rl003_exact_int  # noqa: E402,F401
+from . import rl004_crash_safety  # noqa: E402,F401
+from . import rl005_worker_hygiene  # noqa: E402,F401

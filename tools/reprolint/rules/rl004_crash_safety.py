@@ -1,0 +1,126 @@
+"""RL004 — crash-safe persistence and gated process exits.
+
+The checkpoint/cache/journal tier survives ``kill -9`` because every
+durable artefact is either (a) written to a temp file, fsynced and
+renamed into place (snapshots, cache entries) or (b) append-only with
+per-record checksums and fsync (the admission journal).  A bare
+``open(path, "w")`` in one of those modules silently reintroduces the
+torn-write window the whole of PR 9 exists to close, so:
+
+* In the configured durable modules, builtin ``open``/``io.open`` with
+  a ``"w"``/``"x"`` mode and ``Path.write_text``/``write_bytes`` are
+  flagged — route the write through ``write_checkpoint`` or the
+  fd-based atomic idiom (``os.open`` temp + ``os.fdopen`` + fsync +
+  rename), which this rule deliberately does not match.  Append and
+  in-place-repair modes (``"ab"``, ``"r+b"``) stay legal: the journal's
+  durability story is fsync-per-record, not rename.
+* ``os._exit`` anywhere in the exit scope is legal only as the
+  deterministic fault-injection seam, i.e. with a
+  ``*.CRASH_EXIT_CODE`` argument (``FaultPlan``); any other use
+  bypasses ``finally`` blocks and the graceful-drain signal handlers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..config import ReprolintConfig
+from ..engine import SourceFile, Violation, dotted_name, in_scope
+from . import register
+
+
+def _mode_of(node: ast.Call) -> str:
+    for keyword in node.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+            value = keyword.value.value
+            return value if isinstance(value, str) else ""
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+        value = node.args[1].value
+        return value if isinstance(value, str) else ""
+    return ""
+
+
+@register
+class CrashSafetyRule:
+    rule_id = "RL004"
+    name = "crash-safety"
+    description = (
+        "durable-module writes go through the atomic temp+fsync+rename helper; "
+        "os._exit only under FaultPlan"
+    )
+
+    def check(self, source: SourceFile, config: ReprolintConfig) -> List[Violation]:
+        if source.tree is None:
+            return []
+        cfg = config.rl004
+        violations: List[Violation] = []
+        if source.rel in cfg.durable_modules:
+            violations.extend(self._check_writes(source))
+        if in_scope(source.rel, cfg.exit_scope):
+            violations.extend(self._check_exits(source, cfg.fault_exit_attr))
+        return violations
+
+    # ------------------------------------------------------------------ #
+    def _check_writes(self, source: SourceFile) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted in ("open", "io.open"):
+                mode = _mode_of(node)
+                if any(flag in mode for flag in ("w", "x")):
+                    violations.append(
+                        Violation(
+                            self.rule_id,
+                            source.rel,
+                            node.lineno,
+                            node.col_offset,
+                            f"bare open(..., {mode!r}) in a durable module — a crash "
+                            "mid-write leaves a torn file; use the atomic "
+                            "temp+fsync+rename helper (write_checkpoint / the "
+                            "fd-based idiom in RunResultCache.put)",
+                        )
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("write_text", "write_bytes")
+            ):
+                violations.append(
+                    Violation(
+                        self.rule_id,
+                        source.rel,
+                        node.lineno,
+                        node.col_offset,
+                        f"Path.{node.func.attr}(...) in a durable module is not "
+                        "atomic and never fsyncs — use the temp+fsync+rename helper",
+                    )
+                )
+        return violations
+
+    # ------------------------------------------------------------------ #
+    def _check_exits(self, source: SourceFile, fault_exit_attr: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call) or dotted_name(node.func) != "os._exit":
+                continue
+            gated = bool(
+                node.args
+                and isinstance(node.args[0], ast.Attribute)
+                and node.args[0].attr == fault_exit_attr
+            )
+            if not gated:
+                violations.append(
+                    Violation(
+                        self.rule_id,
+                        source.rel,
+                        node.lineno,
+                        node.col_offset,
+                        "os._exit outside the FaultPlan crash seam — it skips "
+                        "finally blocks, flushes and the graceful-drain handlers; "
+                        "raise SystemExit, or exit with FaultPlan.CRASH_EXIT_CODE "
+                        "if this is deliberate fault injection",
+                    )
+                )
+        return violations
